@@ -1,0 +1,63 @@
+// Regenerates Fig. 4(d)-(e): per-path capacity and delay distributions of
+// the three operator topologies, plus the §4.3.1 summary statistics the
+// generators are calibrated against (path redundancy, capacity ranges,
+// BS-CU distances).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "topo/generators.hpp"
+
+int main() {
+  using namespace ovnes;
+  const double scale = bench::fast_mode() ? 0.04 : 0.12;
+  const std::size_t k = 8;
+
+  std::printf("# Fig 4(d)-(e): path capacity / delay CDFs (scale=%.2f, k=%zu)\n",
+              scale, k);
+  for (const std::string& name : bench::topologies()) {
+    const topo::Topology t = topo::make_operator(name, {scale, 7});
+    const topo::PathCatalog cat(t, k);
+
+    EmpiricalDistribution capacity_gbps, delay_us;
+    double max_dist = 0.0;
+    for (const topo::CandidatePath& p : cat.all()) {
+      // Paths to the core CU traverse the unconstrained virtual WAN link;
+      // Fig. 4 describes the physical metro network, so measure BS->edge.
+      if (t.cu(p.cu).is_edge) {
+        capacity_gbps.add(p.bottleneck / 1000.0);
+        delay_us.add(p.delay);
+      }
+    }
+    for (const topo::BaseStation& bs : t.base_stations()) {
+      for (const topo::ComputeUnit& cu : t.compute_units()) {
+        if (cu.is_edge) {
+          max_dist = std::max(max_dist, t.graph.distance(bs.node, cu.node));
+        }
+      }
+    }
+
+    Row summary("fig4_summary");
+    summary.set("topo", name)
+        .set("num_bs", t.num_bs())
+        .set("mean_paths_per_bs", cat.mean_paths_per_pair())
+        .set("cap_min_gbps", capacity_gbps.min())
+        .set("cap_max_gbps", capacity_gbps.max())
+        .set("delay_p50_us", delay_us.quantile(0.5))
+        .set("delay_p95_us", delay_us.quantile(0.95))
+        .set("max_bs_cu_km", max_dist);
+    summary.print();
+
+    for (const auto& [x, y] : capacity_gbps.cdf_series(16)) {
+      Row row("fig4d");
+      row.set("topo", name).set("capacity_gbps", x).set("cdf", y);
+      row.print();
+    }
+    for (const auto& [x, y] : delay_us.cdf_series(16)) {
+      Row row("fig4e");
+      row.set("topo", name).set("delay_us", x).set("cdf", y);
+      row.print();
+    }
+  }
+  return 0;
+}

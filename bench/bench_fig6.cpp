@@ -1,0 +1,74 @@
+// Regenerates Fig. 6: absolute net revenue in heterogeneous scenarios.
+//
+// Three mixes per topology (§4.3.4): (100-β)% eMBB + β% mMTC,
+// (100-β)% eMBB + β% uRLLC, (100-β)% mMTC + β% uRLLC, with β swept over
+// {0, 25, 50, 75, 100}%, mean load fixed at λ̄ = 0.2·Λ, and the same σ / m
+// sweeps as Fig. 5 (reduced here to the paper's most-shown settings).
+// The black no-overbooking line is emitted as algo=no_overbooking.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace ovnes;
+  using namespace ovnes::orch;
+  using slice::SliceType;
+
+  const std::vector<double> betas = bench::fast_mode()
+                                        ? std::vector<double>{0.0, 50.0, 100.0}
+                                        : std::vector<double>{0.0, 25.0, 50.0,
+                                                              75.0, 100.0};
+  const std::vector<std::pair<SliceType, SliceType>> mixes = {
+      {SliceType::eMBB, SliceType::mMTC},
+      {SliceType::eMBB, SliceType::uRLLC},
+      {SliceType::mMTC, SliceType::uRLLC},
+  };
+  const double alpha = 0.2;  // λ̄ = 0.2·Λ (§4.3.4)
+  const std::vector<std::pair<double, double>> sweeps =
+      bench::fast_mode()
+          ? std::vector<std::pair<double, double>>{{0.25, 1.0}}
+          : std::vector<std::pair<double, double>>{{0.0, 1.0}, {0.25, 1.0},
+                                                   {0.5, 1.0}, {0.25, 16.0}};
+
+  std::printf("# Fig 6: net revenue (monetary units), heterogeneous mixes, "
+              "mean load 0.2Λ\n");
+  for (const std::string& topo : bench::topologies()) {
+    const std::size_t n = bench::tenant_count(topo);
+    for (const auto& [type_a, type_b] : mixes) {
+      const std::string mix = std::string(slice::to_string(type_a)) + "+" +
+                              std::string(slice::to_string(type_b));
+      for (double beta : betas) {
+        // Baseline (independent of σ and m).
+        {
+          ScenarioConfig cfg = bench::base_scenario(topo, Algorithm::NoOverbooking, 23);
+          cfg.tenants = heterogeneous(type_a, type_b, n, beta, alpha, 0.0, 1.0);
+          const ScenarioResult r = run_scenario(cfg);
+          Row row("fig6");
+          row.set("topo", topo).set("mix", mix).set("beta", beta)
+              .set("algo", std::string("no_overbooking"))
+              .set("sigma_ratio", 0.0).set("m", 1.0)
+              .set("revenue", r.mean_net_revenue)
+              .set("accepted", r.accepted);
+          row.print();
+        }
+        for (const auto& [sigma, m] : sweeps) {
+          for (Algorithm algo : {Algorithm::Benders, Algorithm::Kac}) {
+            ScenarioConfig cfg = bench::base_scenario(topo, algo, 23);
+            cfg.tenants = heterogeneous(type_a, type_b, n, beta, alpha, sigma, m);
+            const ScenarioResult r = run_scenario(cfg);
+            Row row("fig6");
+            row.set("topo", topo).set("mix", mix).set("beta", beta)
+                .set("algo", std::string(to_string(algo)))
+                .set("sigma_ratio", sigma).set("m", m)
+                .set("revenue", r.mean_net_revenue)
+                .set("accepted", r.accepted)
+                .set("violation_prob", r.violation_prob);
+            row.print();
+            std::fflush(stdout);
+          }
+        }
+      }
+    }
+  }
+  return 0;
+}

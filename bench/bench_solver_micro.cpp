@@ -1,0 +1,136 @@
+// P1: google-benchmark microbenchmarks for the solver substrate — LP solve
+// latency versus size, MILP branch-and-bound on knapsack instances, the
+// Benders slave, and Yen's k-shortest paths on operator topologies.
+#include <benchmark/benchmark.h>
+
+#include "acrr/benders.hpp"
+#include "acrr/kac.hpp"
+#include "acrr/slave.hpp"
+#include "common/rng.hpp"
+#include "solver/milp.hpp"
+#include "solver/simplex.hpp"
+#include "topo/generators.hpp"
+
+namespace {
+
+using namespace ovnes;
+using namespace ovnes::solver;
+
+LpModel random_lp(int vars, int rows, std::uint64_t seed) {
+  RngStream rng(seed);
+  LpModel m;
+  for (int j = 0; j < vars; ++j) {
+    m.add_variable("x" + std::to_string(j), 0.0, rng.uniform(1.0, 10.0),
+                   rng.uniform(-5.0, 5.0));
+  }
+  for (int i = 0; i < rows; ++i) {
+    std::vector<Coef> coefs;
+    for (int j = 0; j < vars; ++j) {
+      if (rng.flip(0.4)) coefs.push_back({j, rng.uniform(0.0, 3.0)});
+    }
+    m.add_row("r" + std::to_string(i), RowSense::LessEq,
+              rng.uniform(5.0, 50.0), std::move(coefs));
+  }
+  return m;
+}
+
+void BM_SimplexSolve(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const LpModel m = random_lp(n, n / 2, 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_lp(m));
+  }
+  state.SetLabel(std::to_string(n) + " vars");
+}
+BENCHMARK(BM_SimplexSolve)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_MilpKnapsack(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  RngStream rng(7);
+  LpModel m;
+  std::vector<Coef> cap;
+  for (int j = 0; j < n; ++j) {
+    m.add_binary("b" + std::to_string(j), -rng.uniform(1.0, 10.0));
+    cap.push_back({j, rng.uniform(1.0, 5.0)});
+  }
+  m.add_row("cap", RowSense::LessEq, static_cast<double>(n), cap);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_milp(m));
+  }
+}
+BENCHMARK(BM_MilpKnapsack)->Arg(12)->Arg(24)->Arg(48);
+
+acrr::AcrrInstance make_instance(const topo::Topology& topo,
+                                 const topo::PathCatalog& catalog,
+                                 std::size_t tenants) {
+  RngStream rng(3);
+  std::vector<acrr::TenantModel> tms;
+  for (std::size_t i = 0; i < tenants; ++i) {
+    acrr::TenantModel tm;
+    tm.request.tenant = TenantId(static_cast<std::uint32_t>(i));
+    tm.request.tmpl = slice::standard_template(
+        static_cast<slice::SliceType>(rng.uniform_int(0, 2)));
+    tm.request.duration_epochs = 20;
+    tm.lambda_hat = rng.uniform(0.2, 0.5) * tm.request.tmpl.sla_rate;
+    tm.sigma_hat = 0.2;
+    tms.push_back(std::move(tm));
+  }
+  return acrr::AcrrInstance(topo, catalog, tms);
+}
+
+void BM_BendersSlave(benchmark::State& state) {
+  const topo::Topology topo = topo::make_romanian({0.04, 9});
+  const topo::PathCatalog catalog(topo, 2);
+  const acrr::AcrrInstance inst =
+      make_instance(topo, catalog, static_cast<std::size_t>(state.range(0)));
+  acrr::SlaveProblem slave(inst);
+  std::vector<char> active(inst.vars().size(), 0);
+  // Activate every tenant on its first feasible CU.
+  for (int t = 0; t < static_cast<int>(inst.tenants().size()); ++t) {
+    const auto cus = inst.feasible_cus(t);
+    if (cus.empty()) continue;
+    for (const auto& group : inst.vars_by_bs(t, cus.front())) {
+      if (!group.empty()) active[static_cast<size_t>(group.front())] = 1;
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(slave.solve(active, true));
+  }
+}
+BENCHMARK(BM_BendersSlave)->Arg(5)->Arg(10)->Arg(20);
+
+void BM_BendersFull(benchmark::State& state) {
+  const topo::Topology topo = topo::make_romanian({0.03, 9});
+  const topo::PathCatalog catalog(topo, 2);
+  const acrr::AcrrInstance inst =
+      make_instance(topo, catalog, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(acrr::solve_benders(inst));
+  }
+}
+BENCHMARK(BM_BendersFull)->Arg(5)->Arg(10)->Unit(benchmark::kMillisecond);
+
+void BM_KacFull(benchmark::State& state) {
+  const topo::Topology topo = topo::make_romanian({0.03, 9});
+  const topo::PathCatalog catalog(topo, 2);
+  const acrr::AcrrInstance inst =
+      make_instance(topo, catalog, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(acrr::solve_kac(inst));
+  }
+}
+BENCHMARK(BM_KacFull)->Arg(5)->Arg(10)->Unit(benchmark::kMillisecond);
+
+void BM_KShortestPaths(benchmark::State& state) {
+  const topo::Topology topo = topo::make_romanian({0.06, 9});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        topo::PathCatalog(topo, static_cast<std::size_t>(state.range(0))));
+  }
+  state.SetLabel("k=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_KShortestPaths)->Arg(2)->Arg(8)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,28 @@
+// Regenerates Table 1: "End-to-end network slice template".
+//
+// Columns: slice type, reward R, delay tolerance ∆ (ms), SLA bitrate Λ
+// (Mb/s), and the service model s = {a, b} (CPUs). Variability σ is a
+// per-scenario sweep parameter (mMTC is always deterministic).
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "slice/slice.hpp"
+
+int main() {
+  using namespace ovnes;
+  std::printf("# Table 1: end-to-end network slice templates\n");
+  for (slice::SliceType type :
+       {slice::SliceType::eMBB, slice::SliceType::mMTC, slice::SliceType::uRLLC}) {
+    const slice::SliceTemplate t = slice::standard_template(type);
+    Row row("table1");
+    row.set("type", std::string(slice::to_string(type)))
+        .set("reward", t.reward)
+        .set("delay_ms", t.delay_budget / 1000.0)
+        .set("sla_mbps", t.sla_rate)
+        .set("sigma", std::string(type == slice::SliceType::mMTC ? "0" : "variable"))
+        .set("a_cpus", t.service.baseline)
+        .set("b_cpus_per_mbps", t.service.cores_per_mbps);
+    row.print();
+  }
+  return 0;
+}

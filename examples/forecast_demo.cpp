@@ -1,0 +1,73 @@
+// Forecasting walkthrough: why the orchestrator uses triple exponential
+// smoothing (multiplicative Holt-Winters) for slice-load prediction, and
+// how forecast uncertainty σ̂ shapes overbooking aggressiveness.
+//
+//   $ ./build/examples/forecast_demo
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "forecast/smoothing.hpp"
+#include "traffic/demand.hpp"
+
+using namespace ovnes;
+
+int main() {
+  // A slice with day-night periodicity: 24 epochs/day, peaks of ~40 Mb/s,
+  // 60% night dip, some jitter — the [36]-style mobile traffic pattern.
+  const std::size_t epochs_per_day = 24, kappa = 12;
+  traffic::DiurnalDemand demand(40.0, 0.6, epochs_per_day * kappa, 2.0);
+  RngStream rng(21);
+
+  std::vector<forecast::ForecasterPtr> forecasters;
+  forecasters.push_back(std::make_unique<forecast::SesForecaster>());
+  forecasters.push_back(std::make_unique<forecast::HoltForecaster>());
+  forecasters.push_back(
+      std::make_unique<forecast::HoltWintersForecaster>(epochs_per_day));
+
+  std::printf("== Forecasting per-epoch peak slice load (λ̂) ==\n");
+  std::printf("signal: diurnal, 24 epochs/day, peak ~40 Mb/s, 60%% dip\n\n");
+
+  std::size_t sample = 0;
+  double abs_err[3] = {0, 0, 0};
+  std::size_t scored = 0;
+  for (std::size_t e = 0; e < 10 * epochs_per_day; ++e) {
+    double peak = 0.0;
+    for (std::size_t s = 0; s < kappa; ++s) {
+      peak = std::max(peak, demand.sample(sample++, rng));
+    }
+    if (e >= 2 * epochs_per_day) {
+      for (std::size_t f = 0; f < forecasters.size(); ++f) {
+        abs_err[f] += std::abs(forecasters[f]->forecast(1).value - peak);
+      }
+      ++scored;
+    }
+    for (auto& f : forecasters) f->observe(peak);
+
+    if (e >= 9 * epochs_per_day && e < 9 * epochs_per_day + 6) {
+      std::printf("epoch %3zu  actual peak %5.1f |", e, peak);
+      for (auto& f : forecasters) {
+        const auto fc = f->forecast(1);
+        std::printf("  %s: %5.1f (σ̂=%.2f)", f->name().c_str(), fc.value,
+                    fc.uncertainty);
+      }
+      std::printf("\n");
+    }
+  }
+
+  std::printf("\nmean absolute one-step error over %zu epochs:\n", scored);
+  for (std::size_t f = 0; f < forecasters.size(); ++f) {
+    std::printf("  %-13s %6.2f Mb/s\n", forecasters[f]->name().c_str(),
+                abs_err[f] / static_cast<double>(scored));
+  }
+
+  std::printf(
+      "\nWhy it matters: the AC-RR objective scales the overbooking risk by\n"
+      "ξ = σ̂·L (§3.1). A forecaster that tracks seasonality cuts σ̂, which\n"
+      "lets the optimizer reserve closer to the true peak — more admitted\n"
+      "tenants at the same SLA-violation budget. Double smoothing (holt)\n"
+      "chases the diurnal ramp and overshoots at the turn; single smoothing\n"
+      "(ses) lags it; holt_winters learns the cycle.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Capacity-planning study on a synthesized operator network: how many
+// tenants can each admission policy monetize before the infrastructure
+// saturates, and what is overbooking worth in yearly revenue?
+//
+//   $ ./build/examples/operator_planning [romanian|swiss|italian]
+//
+// Sweeps the tenant population at a fixed per-tenant load profile and
+// reports accepted tenants + mean revenue per policy — the "how much am I
+// leaving on the table" question a mobile operator would ask before
+// adopting yield-driven orchestration.
+#include <cstdio>
+#include <string>
+
+#include "orch/scenario.hpp"
+
+using namespace ovnes;
+using namespace ovnes::orch;
+
+int main(int argc, char** argv) {
+  const std::string topo = argc > 1 ? argv[1] : "romanian";
+
+  std::printf("== Slice-overbooking capacity planning: %s network ==\n",
+              topo.c_str());
+  std::printf("tenant profile: eMBB, mean load 30%% of SLA, σ = λ̄/4, "
+              "penalty m = 4\n\n");
+  std::printf("%8s  %22s  %22s  %8s\n", "tenants", "no-overbooking",
+              "overbooking (Benders)", "gain");
+  std::printf("%8s  %10s %11s  %10s %11s\n", "", "accepted", "revenue/ep",
+              "accepted", "revenue/ep");
+
+  double last_gain = 0.0;
+  for (std::size_t n = 4; n <= 16; n += 4) {
+    ScenarioConfig cfg;
+    cfg.topology = topo;
+    cfg.scale = 0.04;
+    cfg.seed = 13;
+    cfg.k_paths = 2;
+    cfg.max_epochs = 16;
+    // Interactive budgets: the anytime solvers return the incumbent with a
+    // certified bound if they hit the limit.
+    cfg.milp.time_limit_sec = 20.0;
+    cfg.benders.time_limit_sec = 20.0;
+    cfg.benders.master.time_limit_sec = 5.0;
+    cfg.tenants = homogeneous(slice::SliceType::eMBB, n, 0.3, 0.25, 4.0);
+
+    cfg.algorithm = Algorithm::NoOverbooking;
+    const ScenarioResult base = run_scenario(cfg);
+    cfg.algorithm = Algorithm::Benders;
+    const ScenarioResult over = run_scenario(cfg);
+
+    last_gain = base.mean_net_revenue > 0
+                    ? 100.0 * (over.mean_net_revenue - base.mean_net_revenue) /
+                          base.mean_net_revenue
+                    : 0.0;
+    std::printf("%8zu  %10zu %11.2f  %10zu %11.2f  %+7.0f%%\n", n,
+                base.accepted, base.mean_net_revenue, over.accepted,
+                over.mean_net_revenue, last_gain);
+  }
+
+  std::printf("\nReading: the baseline saturates once full-SLA reservations "
+              "exhaust a resource;\noverbooking keeps admitting as long as "
+              "*actual* load fits, at ~zero SLA cost.\nAt the final sweep "
+              "point yield-driven orchestration is worth %+.0f%% revenue.\n",
+              last_gain);
+  return 0;
+}

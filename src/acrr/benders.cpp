@@ -1,0 +1,403 @@
+#include "acrr/benders.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+namespace ovnes::acrr {
+
+namespace detail {
+
+MasterModel build_master(const AcrrInstance& inst, bool with_theta) {
+  using namespace ovnes::solver;
+  MasterModel m;
+  const auto& vars = inst.vars();
+  const auto b_count = static_cast<double>(inst.num_bs());
+
+  // x_j binaries: objective (Λ·w − R/B); branched after acceptance vars.
+  m.x_col.resize(vars.size());
+  double theta_lb = 0.0;
+  for (std::size_t j = 0; j < vars.size(); ++j) {
+    const VarInfo& v = vars[j];
+    m.x_col[j] = m.lp.add_binary("x" + std::to_string(j),
+                                 v.sla * v.w - v.reward_share,
+                                 /*branch_priority=*/10);
+    theta_lb -= v.w * v.sla;
+  }
+
+  // acc_{t,c} binaries: the tenant-acceptance dichotomy (branch first).
+  const int t_count = static_cast<int>(inst.tenants().size());
+  m.acc.resize(static_cast<size_t>(t_count));
+  for (int t = 0; t < t_count; ++t) {
+    const auto& cus = inst.feasible_cus(t);
+    std::vector<Coef> one_cu;
+    for (CuId c : cus) {
+      const int col = m.lp.add_binary(
+          "acc_t" + std::to_string(t) + "_c" + std::to_string(c.value()), 0.0,
+          /*branch_priority=*/0);
+      m.acc[static_cast<size_t>(t)].push_back(col);
+      one_cu.push_back({col, 1.0});
+
+      // Linking: Σ_{b,p→c} x = B·acc_{t,c}.
+      std::vector<Coef> link{{col, -b_count}};
+      for (const auto& group : inst.vars_by_bs(t, c)) {
+        for (int j : group) link.push_back({m.x_col[static_cast<size_t>(j)], 1.0});
+      }
+      m.lp.add_row("link_t" + std::to_string(t) + "_c" +
+                       std::to_string(c.value()),
+                   RowSense::Equal, 0.0, std::move(link));
+    }
+    // One CU per tenant; pinned slices must stay admitted (constraint 13).
+    const bool pinned = inst.tenants()[static_cast<size_t>(t)].pinned_cu.has_value();
+    if (pinned && one_cu.empty()) {
+      throw std::logic_error("build_master: pinned tenant has no feasible CU");
+    }
+    if (!one_cu.empty()) {
+      m.lp.add_row("cu_t" + std::to_string(t),
+                   pinned ? RowSense::Equal : RowSense::LessEq, 1.0,
+                   std::move(one_cu));
+    }
+  }
+
+  // Constraint (5): at most one path per (tenant, BS) across all CUs.
+  for (int t = 0; t < t_count; ++t) {
+    for (std::size_t bi = 0; bi < inst.num_bs(); ++bi) {
+      std::vector<Coef> coefs;
+      for (CuId c : inst.feasible_cus(t)) {
+        const auto& groups = inst.vars_by_bs(t, c);
+        for (int j : groups[bi]) {
+          coefs.push_back({m.x_col[static_cast<size_t>(j)], 1.0});
+        }
+      }
+      if (coefs.size() > 1) {
+        m.lp.add_row("onepath_t" + std::to_string(t) + "_b" + std::to_string(bi),
+                     RowSense::LessEq, 1.0, std::move(coefs));
+      }
+    }
+  }
+
+  // Symmetry breaking: identical non-pinned tenants (same template,
+  // forecast and penalty) are interchangeable; force acceptance in index
+  // order so branch-and-bound does not explore permutations of the same
+  // admission set.
+  const auto same_profile = [&](int a, int b) {
+    const TenantModel& x = inst.tenants()[static_cast<size_t>(a)];
+    const TenantModel& y = inst.tenants()[static_cast<size_t>(b)];
+    return !x.pinned_cu && !y.pinned_cu &&
+           x.request.tmpl.type == y.request.tmpl.type &&
+           x.request.tmpl.reward == y.request.tmpl.reward &&
+           x.request.tmpl.sla_rate == y.request.tmpl.sla_rate &&
+           x.request.duration_epochs == y.request.duration_epochs &&
+           x.request.penalty_factor == y.request.penalty_factor &&
+           x.lambda_hat == y.lambda_hat && x.sigma_hat == y.sigma_hat;
+  };
+  for (int t = 0; t + 1 < t_count; ++t) {
+    if (!same_profile(t, t + 1)) continue;
+    std::vector<Coef> order;
+    for (int col : m.acc[static_cast<size_t>(t)]) order.push_back({col, 1.0});
+    for (int col : m.acc[static_cast<size_t>(t + 1)]) order.push_back({col, -1.0});
+    if (!order.empty()) {
+      m.lp.add_row("sym_t" + std::to_string(t), RowSense::GreaterEq, 0.0,
+                   std::move(order));
+    }
+  }
+
+  if (with_theta) {
+    m.theta_col = m.lp.add_variable("theta", theta_lb, solver::kInf, 1.0);
+
+    // Seed the Benders master with the valid minimum-usage inequalities:
+    // accepting x forces z >= λ̂·x, so the λ̂-priced usage must fit every
+    // capacity. These are implied by the slave's feasibility cuts but
+    // providing them up front saves most feasibility iterations. Under the
+    // §3.4 big-M relaxation capacities are soft, so the seeds are invalid
+    // and skipped (the relaxed slave's optimality cuts handle everything).
+    if (inst.config().allow_deficit) return m;
+    const topo::Topology& topo = inst.topology();
+    for (std::size_t ci = 0; ci < inst.num_cu(); ++ci) {
+      std::vector<Coef> coefs;
+      for (std::size_t j = 0; j < vars.size(); ++j) {
+        const VarInfo& v = vars[j];
+        if (v.cu.index() != ci) continue;
+        const auto& svc =
+            inst.tenants()[static_cast<size_t>(v.tenant)].request.tmpl.service;
+        const double usage = svc.baseline / static_cast<double>(inst.num_bs()) +
+                             svc.cores_per_mbps * v.lambda_hat;
+        if (usage > 0.0) coefs.push_back({m.x_col[j], usage});
+      }
+      if (!coefs.empty()) {
+        m.lp.add_row("seed_cu" + std::to_string(ci), RowSense::LessEq,
+                     topo.cu(CuId(static_cast<std::uint32_t>(ci))).capacity,
+                     std::move(coefs));
+      }
+    }
+    std::map<std::uint32_t, std::vector<Coef>> link_rows;
+    for (std::size_t j = 0; j < vars.size(); ++j) {
+      if (vars[j].lambda_hat <= 0.0) continue;
+      for (LinkId e : vars[j].path->links) {
+        link_rows[e.value()].push_back(
+            {m.x_col[j], topo.graph.link(e).overhead * vars[j].lambda_hat});
+      }
+    }
+    for (auto& [id, coefs] : link_rows) {
+      m.lp.add_row("seed_link" + std::to_string(id), RowSense::LessEq,
+                   topo.graph.link(LinkId(id)).capacity, std::move(coefs));
+    }
+    for (std::size_t bi = 0; bi < inst.num_bs(); ++bi) {
+      std::vector<Coef> coefs;
+      for (std::size_t j = 0; j < vars.size(); ++j) {
+        const VarInfo& v = vars[j];
+        if (v.bs.index() == bi && v.lambda_hat > 0.0) {
+          coefs.push_back({m.x_col[j], v.radio_prbs_per_mbps * v.lambda_hat});
+        }
+      }
+      if (!coefs.empty()) {
+        m.lp.add_row("seed_bs" + std::to_string(bi), RowSense::LessEq,
+                     topo.bs(BsId(static_cast<std::uint32_t>(bi))).capacity,
+                     std::move(coefs));
+      }
+    }
+  }
+  return m;
+}
+
+std::vector<char> extract_active(const MasterModel& m,
+                                 const std::vector<double>& x) {
+  std::vector<char> active(m.x_col.size(), 0);
+  for (std::size_t j = 0; j < m.x_col.size(); ++j) {
+    active[j] = x[static_cast<size_t>(m.x_col[j])] > 0.5 ? 1 : 0;
+  }
+  return active;
+}
+
+AdmissionResult assemble_result(const AcrrInstance& inst,
+                                const std::vector<char>& active,
+                                const std::vector<double>& z) {
+  AdmissionResult res;
+  const auto& vars = inst.vars();
+  res.admitted.assign(inst.tenants().size(), std::nullopt);
+  for (std::size_t t = 0; t < inst.tenants().size(); ++t) {
+    // Find the CU with active variables for this tenant.
+    for (CuId c : inst.feasible_cus(static_cast<int>(t))) {
+      const auto& groups = inst.vars_by_bs(static_cast<int>(t), c);
+      std::vector<int> chosen;
+      std::vector<Mbps> rsv;
+      bool complete = !groups.empty();
+      for (const auto& group : groups) {
+        int pick = -1;
+        for (int j : group) {
+          if (active[static_cast<size_t>(j)]) { pick = j; break; }
+        }
+        if (pick < 0) { complete = false; break; }
+        chosen.push_back(pick);
+        rsv.push_back(z[static_cast<size_t>(pick)]);
+      }
+      if (complete && chosen.size() == inst.num_bs()) {
+        res.admitted[t] = Placement{c, std::move(chosen), std::move(rsv)};
+        break;
+      }
+    }
+  }
+  (void)vars;
+  return res;
+}
+
+}  // namespace detail
+
+double evaluate_objective(const AcrrInstance& inst,
+                          const AdmissionResult& result) {
+  double obj = 0.0;
+  for (std::size_t t = 0; t < result.admitted.size(); ++t) {
+    const auto& placement = result.admitted[t];
+    if (!placement) continue;
+    for (std::size_t i = 0; i < placement->path_vars.size(); ++i) {
+      const VarInfo& v =
+          inst.vars()[static_cast<size_t>(placement->path_vars[i])];
+      const double z = placement->reservation[i];
+      obj += v.w * (v.sla - z) - v.reward_share;
+    }
+  }
+  return obj;
+}
+
+AdmissionResult solve_benders(const AcrrInstance& inst,
+                              const BendersOptions& opts) {
+  using namespace ovnes::solver;
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto elapsed = [&t0] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+        .count();
+  };
+
+  detail::MasterModel master = detail::build_master(inst, /*with_theta=*/true);
+  SlaveProblem slave(inst);
+  const bool deficit = inst.config().allow_deficit;
+
+  double ub = kInf;
+  double lb = -kInf;
+  std::vector<char> best_active;
+  std::vector<double> best_z;
+  double best_deficit = 0.0;
+  int iter = 0;
+
+  for (; iter < opts.max_iterations; ++iter) {
+    MilpOptions mopts = opts.master;
+    mopts.time_limit_sec =
+        std::min(mopts.time_limit_sec, opts.time_limit_sec - elapsed());
+    if (mopts.time_limit_sec <= 0.0) break;
+    const MilpResult mr = solve_milp(master.lp, mopts);
+    if (mr.status == MilpStatus::Infeasible) {
+      // Structurally infeasible master (e.g. conflicting pinned slices
+      // without the §3.4 relaxation): report an empty admission.
+      AdmissionResult res;
+      res.admitted.assign(inst.tenants().size(), std::nullopt);
+      res.solve_ms = elapsed() * 1e3;
+      res.iterations = iter;
+      return res;
+    }
+    if (mr.status == MilpStatus::NoSolution) break;
+    lb = std::max(lb, mr.best_bound);
+
+    const std::vector<char> active = detail::extract_active(master, mr.x);
+    const SlaveResult sr = slave.solve(active, deficit);
+
+    if (sr.feasible) {
+      // Γ = first-stage cost at x̄ + slave optimum (Algorithm 1, line 12).
+      double first_stage = 0.0;
+      for (std::size_t j = 0; j < active.size(); ++j) {
+        if (active[j]) {
+          const VarInfo& v = inst.vars()[j];
+          first_stage += v.sla * v.w - v.reward_share;
+        }
+      }
+      const double gamma = first_stage + sr.objective;
+      if (gamma < ub) {
+        ub = gamma;
+        best_active = active;
+        best_z = sr.z;
+        best_deficit = sr.deficit;
+      }
+      // Optimality cut (21): θ >= const + Σ coef·x.
+      std::vector<Coef> coefs{{master.theta_col, -1.0}};
+      for (const auto& [j, c] : sr.cut.coefs) {
+        coefs.push_back({master.x_col[static_cast<size_t>(j)], c});
+      }
+      master.lp.add_row("optcut" + std::to_string(iter), RowSense::LessEq,
+                        -sr.cut.constant, std::move(coefs));
+    } else {
+      // Feasibility cut (22): const + Σ coef·x <= 0.
+      std::vector<Coef> coefs;
+      for (const auto& [j, c] : sr.cut.coefs) {
+        coefs.push_back({master.x_col[static_cast<size_t>(j)], c});
+      }
+      master.lp.add_row("feascut" + std::to_string(iter), RowSense::LessEq,
+                        -sr.cut.constant, std::move(coefs));
+    }
+
+    if (ub < kInf && ub - lb <= opts.epsilon * (1.0 + std::abs(ub))) {
+      ++iter;
+      break;
+    }
+    if (elapsed() > opts.time_limit_sec) break;
+  }
+
+  AdmissionResult res;
+  if (best_active.empty()) {
+    // Never found a feasible slave: reject everything (always feasible
+    // when nothing is pinned).
+    res.admitted.assign(inst.tenants().size(), std::nullopt);
+  } else {
+    res = detail::assemble_result(inst, best_active, best_z);
+  }
+  res.objective = ub == kInf ? 0.0 : ub;
+  res.bound = lb;
+  res.iterations = iter;
+  res.solve_ms = elapsed() * 1e3;
+  res.optimal = ub < kInf && ub - lb <= opts.epsilon * (1.0 + std::abs(ub));
+  res.deficit = best_deficit;
+  return res;
+}
+
+AdmissionResult solve_no_overbooking(const AcrrInstance& inst,
+                                     const solver::MilpOptions& opts) {
+  using namespace ovnes::solver;
+  if (!inst.config().no_overbooking) {
+    throw std::logic_error(
+        "solve_no_overbooking requires AcrrConfig::no_overbooking");
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // Full MILP with z ≡ Λ·x: capacities become linear in x directly.
+  detail::MasterModel m = detail::build_master(inst, /*with_theta=*/false);
+  const auto& vars = inst.vars();
+  const topo::Topology& topo = inst.topology();
+
+  // Compute rows: Σ (a/B + b·Λ)·x <= C_c.
+  for (std::size_t ci = 0; ci < inst.num_cu(); ++ci) {
+    std::vector<Coef> coefs;
+    for (std::size_t j = 0; j < vars.size(); ++j) {
+      const VarInfo& v = vars[j];
+      if (v.cu.index() != ci) continue;
+      const auto& svc =
+          inst.tenants()[static_cast<size_t>(v.tenant)].request.tmpl.service;
+      const double usage = svc.baseline / static_cast<double>(inst.num_bs()) +
+                           svc.cores_per_mbps * v.sla;
+      if (usage > 0.0) coefs.push_back({m.x_col[j], usage});
+    }
+    if (!coefs.empty()) {
+      m.lp.add_row("cu" + std::to_string(ci), RowSense::LessEq,
+                   topo.cu(CuId(static_cast<std::uint32_t>(ci))).capacity,
+                   std::move(coefs));
+    }
+  }
+  // Transport rows: Σ η_e·Λ·x <= C_e.
+  std::map<std::uint32_t, std::vector<Coef>> link_rows;
+  for (std::size_t j = 0; j < vars.size(); ++j) {
+    for (LinkId e : vars[j].path->links) {
+      link_rows[e.value()].push_back(
+          {m.x_col[j], topo.graph.link(e).overhead * vars[j].sla});
+    }
+  }
+  for (auto& [id, coefs] : link_rows) {
+    m.lp.add_row("link" + std::to_string(id), RowSense::LessEq,
+                 topo.graph.link(LinkId(id)).capacity, std::move(coefs));
+  }
+  // Radio rows: Σ η_{τ,b}·Λ·x <= C_b.
+  for (std::size_t bi = 0; bi < inst.num_bs(); ++bi) {
+    std::vector<Coef> coefs;
+    for (std::size_t j = 0; j < vars.size(); ++j) {
+      if (vars[j].bs.index() == bi) {
+        coefs.push_back({m.x_col[j], vars[j].radio_prbs_per_mbps * vars[j].sla});
+      }
+    }
+    if (!coefs.empty()) {
+      m.lp.add_row("bs" + std::to_string(bi), RowSense::LessEq,
+                   topo.bs(BsId(static_cast<std::uint32_t>(bi))).capacity,
+                   std::move(coefs));
+    }
+  }
+
+  const MilpResult mr = solve_milp(m.lp, opts);
+  AdmissionResult res;
+  res.solve_ms = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - t0).count() * 1e3;
+  if (mr.status != MilpStatus::Optimal && mr.status != MilpStatus::Feasible) {
+    res.admitted.assign(inst.tenants().size(), std::nullopt);
+    return res;
+  }
+  const std::vector<char> active = detail::extract_active(m, mr.x);
+  std::vector<double> z(vars.size(), 0.0);
+  for (std::size_t j = 0; j < vars.size(); ++j) {
+    if (active[j]) z[j] = vars[j].sla;  // full-SLA reservation
+  }
+  res = detail::assemble_result(inst, active, z);
+  res.objective = mr.objective;
+  res.bound = mr.best_bound;
+  res.optimal = mr.status == MilpStatus::Optimal;
+  res.solve_ms = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - t0).count() * 1e3;
+  return res;
+}
+
+}  // namespace ovnes::acrr

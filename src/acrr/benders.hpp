@@ -1,0 +1,66 @@
+// Optimal AC-RR solver: Benders decomposition (Algorithm 1, §4.1).
+//
+// The master problem (Problem 5) selects the binary admission/placement
+// vector x and a surrogate θ for the reservation cost, subject to the
+// structural constraints (5)-(7) — encoded via per-(tenant, CU) acceptance
+// indicators with high branching priority (tenant-acceptance dichotomy) —
+// plus the optimality/feasibility cuts accumulated from the slave.
+// Iterate until UB − LB <= ε (Theorem 2 guarantees finite convergence).
+//
+// This header also exposes the no-overbooking baseline (§4.3.2): the same
+// MILP with z pinned to Λ, solved exactly, which the paper uses as the
+// upper-bound benchmark for traditional hard-guarantee admission.
+#pragma once
+
+#include "acrr/instance.hpp"
+#include "acrr/slave.hpp"
+#include "solver/milp.hpp"
+
+namespace ovnes::acrr {
+
+struct BendersOptions {
+  int max_iterations = 60;
+  double epsilon = 1e-5;        ///< relative UB-LB convergence tolerance
+  double time_limit_sec = 120.0;
+  solver::MilpOptions master;   ///< branch-and-bound knobs for the master
+};
+
+/// Solve Problem 2 to (near-)optimality via Algorithm 1.
+[[nodiscard]] AdmissionResult solve_benders(const AcrrInstance& inst,
+                                            const BendersOptions& opts = {});
+
+/// No-overbooking baseline: full-SLA reservation (xΛ ≼ z), exact MILP.
+[[nodiscard]] AdmissionResult solve_no_overbooking(
+    const AcrrInstance& inst, const solver::MilpOptions& opts = {});
+
+/// Objective Ψ(x, z) of an admission outcome under `inst`'s coefficients
+/// (risk-weighted penalty minus rewards; lower is better).
+[[nodiscard]] double evaluate_objective(const AcrrInstance& inst,
+                                        const AdmissionResult& result);
+
+namespace detail {
+
+/// Shared master-model scaffold: binaries x_j + per-(tenant, CU) acceptance
+/// indicators + structural rows (5)-(6'); returns indices of the x columns.
+struct MasterModel {
+  solver::LpModel lp;
+  std::vector<int> x_col;            ///< lp column of x_j per instance var
+  std::vector<std::vector<int>> acc; ///< [tenant] -> lp cols of acc_{t,c}
+  int theta_col = -1;                ///< present only in the Benders master
+};
+
+[[nodiscard]] MasterModel build_master(const AcrrInstance& inst,
+                                       bool with_theta);
+
+/// Convert a master MILP solution into per-variable activation flags.
+[[nodiscard]] std::vector<char> extract_active(const MasterModel& m,
+                                               const std::vector<double>& x);
+
+/// Assemble an AdmissionResult from activation flags and slave reservations.
+[[nodiscard]] AdmissionResult assemble_result(const AcrrInstance& inst,
+                                              const std::vector<char>& active,
+                                              const std::vector<double>& z);
+
+}  // namespace detail
+
+}  // namespace ovnes::acrr

@@ -1,0 +1,28 @@
+// Reference implementation of Problem 2 — the full AC-RR MILP with the
+// explicit linearization of §3.3.
+//
+// This builds the *verbatim* formulation: binaries x_{τ,p}, continuous
+// reservations z_{τ,p}, the auxiliary products y_{τ,p} = z·x, the
+// linearization rows (10)-(12), the coupling rows (8)-(9) and the capacity
+// rows (2)-(4) — and solves it monolithically with branch-and-bound.
+//
+// It exists for two reasons:
+//  1. as the ground truth that validates the Benders decomposition and the
+//     reduced-slave cut derivation (tests assert equal optima);
+//  2. as the small-instance exact solver a user without time constraints
+//     would reach for.
+// It scales worse than Benders (three variables per (τ,p) and 3·S extra
+// rows), which is precisely the paper's motivation for decomposing.
+#pragma once
+
+#include "acrr/instance.hpp"
+#include "solver/milp.hpp"
+
+namespace ovnes::acrr {
+
+/// Solve Problem 2 monolithically. Intended for small instances; honors
+/// `opts` limits and reports optimality via the MILP bound.
+[[nodiscard]] AdmissionResult solve_exact_milp(
+    const AcrrInstance& inst, const solver::MilpOptions& opts = {});
+
+}  // namespace ovnes::acrr

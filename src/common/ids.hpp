@@ -1,0 +1,57 @@
+// Strongly-typed identifiers for the entities of the OVNES data plane.
+//
+// The paper indexes base stations b ∈ B, computing units c ∈ C, links
+// e ∈ E, paths p ∈ P_{b,c} and tenants τ ∈ T. Mixing those indices is a
+// classic source of silent bugs, so each gets its own vocabulary type.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace ovnes {
+
+/// CRTP-free tagged index. Comparable, hashable, and explicitly convertible
+/// to its underlying integer; implicit cross-tag conversion is impossible.
+template <class Tag>
+class Id {
+ public:
+  constexpr Id() = default;
+  constexpr explicit Id(std::uint32_t v) : v_(v) {}
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return v_; }
+  /// Convenience for indexing into std::vector.
+  [[nodiscard]] constexpr std::size_t index() const { return v_; }
+
+  friend constexpr bool operator==(Id a, Id b) { return a.v_ == b.v_; }
+  friend constexpr bool operator!=(Id a, Id b) { return a.v_ != b.v_; }
+  friend constexpr bool operator<(Id a, Id b) { return a.v_ < b.v_; }
+
+ private:
+  std::uint32_t v_ = 0;
+};
+
+struct BsTag {};
+struct CuTag {};
+struct LinkTag {};
+struct NodeTag {};
+struct PathTag {};
+struct TenantTag {};
+
+using BsId = Id<BsTag>;          ///< base station b ∈ B
+using CuId = Id<CuTag>;          ///< computing unit c ∈ C
+using LinkId = Id<LinkTag>;      ///< transport link e ∈ E
+using NodeId = Id<NodeTag>;      ///< graph vertex (BS, switch or CU site)
+using PathId = Id<PathTag>;      ///< entry in a PathCatalog
+using TenantId = Id<TenantTag>;  ///< tenant τ ∈ T
+
+}  // namespace ovnes
+
+namespace std {
+template <class Tag>
+struct hash<ovnes::Id<Tag>> {
+  size_t operator()(ovnes::Id<Tag> id) const noexcept {
+    return std::hash<uint32_t>{}(id.value());
+  }
+};
+}  // namespace std

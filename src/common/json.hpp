@@ -1,0 +1,87 @@
+// Minimal JSON value model, parser and serializer.
+//
+// Used by the northbound interface (`src/nbi/`) to round-trip TOSCA-like
+// network-service descriptors, mirroring the paper's REST/TOSCA plumbing
+// without external dependencies. Supports the full JSON grammar except
+// \uXXXX escapes beyond the BMP (sufficient for descriptor payloads).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace ovnes::json {
+
+class Value;
+using Array = std::vector<Value>;
+using Object = std::map<std::string, Value>;
+
+/// Thrown on malformed input or type mismatches.
+class JsonError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Value {
+ public:
+  Value() : v_(nullptr) {}
+  Value(std::nullptr_t) : v_(nullptr) {}
+  Value(bool b) : v_(b) {}
+  Value(double d) : v_(d) {}
+  Value(int i) : v_(static_cast<double>(i)) {}
+  Value(unsigned i) : v_(static_cast<double>(i)) {}
+  Value(long i) : v_(static_cast<double>(i)) {}
+  Value(unsigned long i) : v_(static_cast<double>(i)) {}
+  Value(const char* s) : v_(std::string(s)) {}
+  Value(std::string s) : v_(std::move(s)) {}
+  Value(Array a) : v_(std::move(a)) {}
+  Value(Object o) : v_(std::move(o)) {}
+
+  [[nodiscard]] bool is_null() const { return std::holds_alternative<std::nullptr_t>(v_); }
+  [[nodiscard]] bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  [[nodiscard]] bool is_number() const { return std::holds_alternative<double>(v_); }
+  [[nodiscard]] bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  [[nodiscard]] bool is_array() const { return std::holds_alternative<Array>(v_); }
+  [[nodiscard]] bool is_object() const { return std::holds_alternative<Object>(v_); }
+
+  [[nodiscard]] bool as_bool() const { return get<bool>("bool"); }
+  [[nodiscard]] double as_number() const { return get<double>("number"); }
+  [[nodiscard]] const std::string& as_string() const { return get<std::string>("string"); }
+  [[nodiscard]] const Array& as_array() const { return get<Array>("array"); }
+  [[nodiscard]] const Object& as_object() const { return get<Object>("object"); }
+  Array& as_array() { return get<Array>("array"); }
+  Object& as_object() { return get<Object>("object"); }
+
+  /// Object member access; throws JsonError when absent or not an object.
+  [[nodiscard]] const Value& at(const std::string& key) const;
+  /// True when this is an object containing `key`.
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  /// Serialize. `indent < 0` => compact single line.
+  [[nodiscard]] std::string dump(int indent = -1) const;
+
+  friend bool operator==(const Value& a, const Value& b) { return a.v_ == b.v_; }
+
+ private:
+  template <class T>
+  const T& get(const char* what) const {
+    if (const T* p = std::get_if<T>(&v_)) return *p;
+    throw JsonError(std::string("json: value is not a ") + what);
+  }
+  template <class T>
+  T& get(const char* what) {
+    if (T* p = std::get_if<T>(&v_)) return *p;
+    throw JsonError(std::string("json: value is not a ") + what);
+  }
+
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> v_;
+};
+
+/// Parse a complete JSON document (trailing whitespace allowed).
+[[nodiscard]] Value parse(const std::string& text);
+
+}  // namespace ovnes::json

@@ -1,0 +1,130 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <random>
+
+namespace ovnes {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::standard_error() const {
+  if (n_ < 2) return std::numeric_limits<double>::infinity();
+  return stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+double RunningStats::relative_standard_error() const {
+  const double se = standard_error();
+  if (mean_ == 0.0) {
+    return se == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+  }
+  return std::abs(se / mean_);
+}
+
+double expected_max_gaussian(std::size_t n) {
+  // E[max_n] for n = 1..32 (standard references / high-precision quadrature).
+  static constexpr double kTable[] = {
+      0.0,     0.56419, 0.84628, 1.02938, 1.16296, 1.26721, 1.35218, 1.42360,
+      1.48501, 1.53875, 1.58644, 1.62923, 1.66799, 1.70338, 1.73591, 1.76599,
+      1.79394, 1.82003, 1.84448, 1.86748, 1.88917, 1.90969, 1.92916, 1.94767,
+      1.96531, 1.98216, 1.99827, 2.01371, 2.02852, 2.04276, 2.05646, 2.06967};
+  if (n == 0) return 0.0;
+  if (n <= 32) return kTable[n - 1];
+  // Asymptotic expansion for large n.
+  const double ln_n = std::log(static_cast<double>(n));
+  const double b = std::sqrt(2.0 * ln_n);
+  return b - (std::log(ln_n) + std::log(4.0 * M_PI)) / (2.0 * b) +
+         0.5772156649 / b;
+}
+
+PeakStats gaussian_peak_stats(double mean, double stddev, std::size_t n) {
+  if (n <= 1 || stddev <= 0.0) return {mean, n <= 1 ? stddev : 0.0};
+  // Standardized max moments, memoized per n (deterministic MC).
+  struct Moments { double m, s; };
+  static std::map<std::size_t, Moments>* cache = new std::map<std::size_t, Moments>();
+  auto it = cache->find(n);
+  if (it == cache->end()) {
+    std::mt19937_64 rng(0x5eedULL + n);
+    std::normal_distribution<double> nd(0.0, 1.0);
+    RunningStats rs;
+    for (int rep = 0; rep < 20000; ++rep) {
+      double mx = -1e300;
+      for (std::size_t i = 0; i < n; ++i) mx = std::max(mx, nd(rng));
+      rs.add(mx);
+    }
+    it = cache->emplace(n, Moments{rs.mean(), rs.stddev()}).first;
+  }
+  return {mean + stddev * it->second.m, stddev * it->second.s};
+}
+
+void EmpiricalDistribution::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double EmpiricalDistribution::quantile(double q) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+double EmpiricalDistribution::cdf(double x) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+double EmpiricalDistribution::mean() const {
+  if (samples_.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : samples_) s += v;
+  return s / static_cast<double>(samples_.size());
+}
+
+std::vector<std::pair<double, double>> EmpiricalDistribution::cdf_series(
+    std::size_t points) const {
+  std::vector<std::pair<double, double>> out;
+  if (samples_.empty() || points < 2) return out;
+  ensure_sorted();
+  const double lo = samples_.front();
+  const double hi = samples_.back();
+  out.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x =
+        lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(points - 1);
+    out.emplace_back(x, cdf(x));
+  }
+  return out;
+}
+
+}  // namespace ovnes

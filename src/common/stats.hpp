@@ -1,0 +1,81 @@
+// Streaming statistics used by the simulation stopping rule (§4.3.2: "runs
+// until the mean revenue has a standard error lower than 2%") and by the
+// CDF reproduction of Fig. 4(d)-(e).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ovnes {
+
+/// Welford running mean/variance with standard-error helpers.
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance (0 when fewer than 2 samples).
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  /// Standard error of the mean.
+  [[nodiscard]] double standard_error() const;
+  /// |SE / mean|; infinity when mean == 0 and SE > 0.
+  [[nodiscard]] double relative_standard_error() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// E[max of n i.i.d. standard Gaussians] — the factor relating a mean demand
+/// λ̄ to the expected per-epoch *peak* over κ monitoring samples
+/// (λ(t) = max_θ λ(θ), §2.2.2). Exact for n = 1, 2; interpolated from a
+/// table for n <= 32; asymptotic expansion beyond.
+[[nodiscard]] double expected_max_gaussian(std::size_t n);
+
+/// Mean and standard deviation of max(n i.i.d. N(mean, std)) — the
+/// statistics of the per-epoch peak λ(t) over κ monitoring samples. Used to
+/// parameterize oracle forecasters in the Fig. 5/6 simulations. Computed
+/// once per n by a deterministic Monte-Carlo run and cached.
+struct PeakStats {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+[[nodiscard]] PeakStats gaussian_peak_stats(double mean, double stddev,
+                                            std::size_t n);
+
+/// Empirical distribution: collects samples, answers quantile / CDF queries.
+class EmpiricalDistribution {
+ public:
+  void add(double x) { samples_.push_back(x); sorted_ = false; }
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  /// q in [0,1]; linear interpolation between order statistics.
+  [[nodiscard]] double quantile(double q) const;
+  /// Empirical CDF value at x: P[X <= x].
+  [[nodiscard]] double cdf(double x) const;
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double min() const { return quantile(0.0); }
+  [[nodiscard]] double max() const { return quantile(1.0); }
+
+  /// Evenly spaced (value, cdf) points for plotting, `points >= 2`.
+  [[nodiscard]] std::vector<std::pair<double, double>> cdf_series(
+      std::size_t points) const;
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace ovnes

@@ -1,0 +1,55 @@
+#include "common/table.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace ovnes {
+
+std::string format_number(double v, int max_decimals) {
+  if (!std::isfinite(v)) return v > 0 ? "inf" : (v < 0 ? "-inf" : "nan");
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", max_decimals, v);
+  std::string s(buf);
+  if (s.find('.') != std::string::npos) {
+    while (!s.empty() && s.back() == '0') s.pop_back();
+    if (!s.empty() && s.back() == '.') s.pop_back();
+  }
+  if (s == "-0") s = "0";
+  return s;
+}
+
+Row& Row::set(const std::string& key, const std::string& value) {
+  kv_.emplace_back(key, value);
+  return *this;
+}
+
+Row& Row::set(const std::string& key, double value) {
+  return set(key, format_number(value));
+}
+
+Row& Row::set(const std::string& key, int value) {
+  return set(key, std::to_string(value));
+}
+
+Row& Row::set(const std::string& key, std::size_t value) {
+  return set(key, std::to_string(value));
+}
+
+Row& Row::set(const std::string& key, bool value) {
+  return set(key, std::string(value ? "true" : "false"));
+}
+
+std::string Row::str() const {
+  std::string out = experiment_;
+  for (const auto& [k, v] : kv_) {
+    out.push_back(' ');
+    out += k;
+    out.push_back('=');
+    out += v;
+  }
+  return out;
+}
+
+void Row::print() const { std::printf("%s\n", str().c_str()); }
+
+}  // namespace ovnes

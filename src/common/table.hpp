@@ -1,0 +1,37 @@
+// Machine-readable result rows for the benchmark harness.
+//
+// Every bench binary prints one `Row` per data point of the figure/table it
+// regenerates, e.g.:
+//   fig5 topo=romanian type=embb alpha=0.2 sigma=0.25 m=4 algo=kac gain_pct=187.3
+// so results can be grepped / plotted without parsing free-form text.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ovnes {
+
+class Row {
+ public:
+  explicit Row(std::string experiment) : experiment_(std::move(experiment)) {}
+
+  Row& set(const std::string& key, const std::string& value);
+  Row& set(const std::string& key, double value);
+  Row& set(const std::string& key, int value);
+  Row& set(const std::string& key, std::size_t value);
+  Row& set(const std::string& key, bool value);
+
+  /// `experiment k1=v1 k2=v2 ...` in insertion order.
+  [[nodiscard]] std::string str() const;
+  /// Print to stdout with trailing newline.
+  void print() const;
+
+ private:
+  std::string experiment_;
+  std::vector<std::pair<std::string, std::string>> kv_;
+};
+
+/// Format a double with fixed precision, trimming trailing zeros.
+[[nodiscard]] std::string format_number(double v, int max_decimals = 4);
+
+}  // namespace ovnes

@@ -1,0 +1,48 @@
+#include "common/time_series.hpp"
+
+#include <algorithm>
+
+namespace ovnes {
+
+void TimeSeriesStore::append(const std::string& key, double time, double value) {
+  data_[key].push_back({time, value});
+}
+
+const std::vector<TsPoint>& TimeSeriesStore::series(const std::string& key) const {
+  static const std::vector<TsPoint> kEmpty;
+  const auto it = data_.find(key);
+  return it == data_.end() ? kEmpty : it->second;
+}
+
+std::vector<TsPoint> TimeSeriesStore::range(const std::string& key,
+                                            double t_begin, double t_end) const {
+  std::vector<TsPoint> out;
+  for (const TsPoint& p : series(key)) {
+    if (p.time >= t_begin && p.time < t_end) out.push_back(p);
+  }
+  return out;
+}
+
+std::optional<double> TimeSeriesStore::max_in(const std::string& key,
+                                              double t_begin, double t_end) const {
+  std::optional<double> best;
+  for (const TsPoint& p : series(key)) {
+    if (p.time >= t_begin && p.time < t_end) {
+      best = best ? std::max(*best, p.value) : p.value;
+    }
+  }
+  return best;
+}
+
+std::vector<std::string> TimeSeriesStore::keys() const {
+  std::vector<std::string> out;
+  out.reserve(data_.size());
+  for (const auto& [k, _] : data_) out.push_back(k);
+  return out;
+}
+
+bool TimeSeriesStore::contains(const std::string& key) const {
+  return data_.count(key) != 0;
+}
+
+}  // namespace ovnes

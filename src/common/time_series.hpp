@@ -1,0 +1,46 @@
+// In-memory time-series store.
+//
+// The paper's implementation persists monitoring samples in InfluxDB and
+// control-plane state in MySQL (§2.2.2). The orchestration logic only needs
+// ordered (time, value) sequences per series key, which this store provides;
+// the substitution is recorded in DESIGN.md.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ovnes {
+
+struct TsPoint {
+  double time = 0.0;  ///< sample timestamp (epoch.fraction or sample index)
+  double value = 0.0;
+};
+
+/// Append-only map from series key to ordered samples.
+class TimeSeriesStore {
+ public:
+  void append(const std::string& key, double time, double value);
+
+  /// All samples of a series (empty if unknown key).
+  [[nodiscard]] const std::vector<TsPoint>& series(const std::string& key) const;
+
+  /// Samples with time in [t_begin, t_end).
+  [[nodiscard]] std::vector<TsPoint> range(const std::string& key,
+                                           double t_begin, double t_end) const;
+
+  /// max(value) over [t_begin, t_end) — the λ(t) = max_θ λ(θ) aggregation
+  /// of §2.2.2. Empty optional when no samples fall in the window.
+  [[nodiscard]] std::optional<double> max_in(const std::string& key,
+                                             double t_begin, double t_end) const;
+
+  [[nodiscard]] std::vector<std::string> keys() const;
+  [[nodiscard]] bool contains(const std::string& key) const;
+  void clear() { data_.clear(); }
+
+ private:
+  std::map<std::string, std::vector<TsPoint>> data_;
+};
+
+}  // namespace ovnes

@@ -1,0 +1,36 @@
+// Units used across the system.
+//
+// The model mixes radio (PRBs / MHz), transport (Mb/s) and compute (CPU
+// cores) capacities. We standardize on:
+//   * bitrate       : Mb/s   (double)
+//   * radio         : PRBs   (double; 100 PRBs == 20 MHz LTE carrier)
+//   * compute       : CPU cores (double, fractional shares allowed)
+//   * delay/latency : microseconds (double)
+//   * distance      : kilometres (double)
+// Epochs are integer decision intervals; κ monitoring samples subdivide one
+// epoch (§2.2.2 "Monitoring and Feedback").
+#pragma once
+
+namespace ovnes {
+
+using Mbps = double;
+using Prbs = double;
+using Cores = double;
+using Micros = double;
+using Km = double;
+using Money = double;  ///< abstract monetary units (rewards R, penalties K)
+
+/// One 20 MHz LTE carrier with 2x2 MIMO ~ 150 Mb/s over 100 PRBs, i.e. the
+/// paper's η_b = 20/150 MHz-per-Mb/s; expressed here as Mb/s per PRB.
+inline constexpr double kMbpsPerPrbIdeal = 150.0 / 100.0;
+
+/// Store-and-forward delay model of §4.3.1, footnote 11:
+///   transmission: 12000 bits / C_e  (C_e in Mb/s -> result in µs)
+///   propagation : 4 µs/km (fiber/copper "cable") or 5 µs/km (wireless)
+///   processing  : 5 µs per hop
+inline constexpr double kPacketBits = 12000.0;
+inline constexpr double kCableUsPerKm = 4.0;
+inline constexpr double kWirelessUsPerKm = 5.0;
+inline constexpr double kPerHopProcessingUs = 5.0;
+
+}  // namespace ovnes

@@ -1,0 +1,95 @@
+#include "dataplane/middlebox.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ovnes::dataplane {
+
+const char* to_string(MiddleboxRegime r) {
+  switch (r) {
+    case MiddleboxRegime::Forward: return "forward";
+    case MiddleboxRegime::Buffer: return "buffer";
+    case MiddleboxRegime::PoliceSla: return "police";
+  }
+  return "?";
+}
+
+SplitTcpMiddlebox::SplitTcpMiddlebox(Mbps sla_rate, double max_backlog_mb)
+    : sla_(sla_rate), max_backlog_mb_(max_backlog_mb) {
+  if (sla_rate < 0.0) throw std::invalid_argument("middlebox: Λ < 0");
+  if (max_backlog_mb < 0.0) throw std::invalid_argument("middlebox: backlog");
+}
+
+MiddleboxSample SplitTcpMiddlebox::step(Mbps offered, Mbps reserved,
+                                        double dt_sec) {
+  if (offered < 0.0 || reserved < 0.0 || dt_sec <= 0.0) {
+    throw std::invalid_argument("middlebox: negative step inputs");
+  }
+  MiddleboxSample s;
+
+  // Regime 1: police the aggregate down to the SLA (random early drops in
+  // the packet world; a rate clamp in the fluid model).
+  Mbps admitted = offered;
+  if (offered > sla_) {
+    s.dropped_sla = offered - sla_;
+    admitted = sla_;
+    s.regime = MiddleboxRegime::PoliceSla;
+  }
+
+  // Megabits arriving this interval plus what is already queued.
+  const double arriving_mb = admitted * dt_sec;
+  const double sendable_mb = reserved * dt_sec;
+  const double total_mb = backlog_mb_ + arriving_mb;
+
+  if (total_mb <= sendable_mb) {
+    // Everything (including backlog) fits within the reservation.
+    s.delivered = total_mb / dt_sec;
+    backlog_mb_ = 0.0;
+    if (s.regime != MiddleboxRegime::PoliceSla) {
+      s.regime = MiddleboxRegime::Forward;
+    }
+  } else {
+    // Regime 3: shape to z, queue the excess (ACKed upstream immediately).
+    s.delivered = reserved;
+    backlog_mb_ = total_mb - sendable_mb;
+    if (backlog_mb_ > max_backlog_mb_) {
+      s.dropped_overflow = (backlog_mb_ - max_backlog_mb_) / dt_sec;
+      backlog_mb_ = max_backlog_mb_;
+    }
+    if (s.regime != MiddleboxRegime::PoliceSla) {
+      s.regime = MiddleboxRegime::Buffer;
+    }
+  }
+  s.backlog_mb = backlog_mb_;
+  return s;
+}
+
+TokenBucket::TokenBucket(double rate_mbps, double depth_mb)
+    : refill_rate_(rate_mbps), depth_mb_(depth_mb), tokens_(depth_mb) {
+  if (rate_mbps < 0.0 || depth_mb <= 0.0) {
+    throw std::invalid_argument("token bucket: bad parameters");
+  }
+}
+
+void TokenBucket::refill(double t_sec) {
+  if (t_sec > last_t_) {
+    tokens_ = std::min(depth_mb_, tokens_ + refill_rate_ * (t_sec - last_t_));
+    last_t_ = t_sec;
+  }
+}
+
+bool TokenBucket::try_consume(double size_mb, double t_sec) {
+  refill(t_sec);
+  if (tokens_ >= size_mb) {
+    tokens_ -= size_mb;
+    return true;
+  }
+  return false;
+}
+
+double TokenBucket::tokens_at(double t_sec) const {
+  if (t_sec <= last_t_) return tokens_;
+  return std::min(depth_mb_, tokens_ + refill_rate_ * (t_sec - last_t_));
+}
+
+}  // namespace ovnes::dataplane

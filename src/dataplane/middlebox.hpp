@@ -1,0 +1,73 @@
+// Rate-control middlebox (§2.1.3).
+//
+// The paper splits each TCP connection at a proxy middlebox (Split TCP) so
+// that overbooking-induced under-provisioning stays transparent to the
+// tenant's transmitters. Three regimes, driven by the offered load λ, the
+// SLA rate Λ and the reserved capacity z:
+//   1. λ > Λ            → police: random-drop down to the SLA;
+//   2. λ <= Λ, λ <= z   → forward transparently;
+//   3. λ <= Λ, λ > z    → buffer: shape to z, ACK immediately upstream,
+//                          drain the backlog when capacity frees up.
+// We model this at fluid granularity (per monitoring interval), which is
+// what the orchestrator's monitoring/penalty loop observes; a packet-level
+// token-bucket shaper is provided alongside for fine-grained experiments.
+#pragma once
+
+#include <cstddef>
+
+#include "common/units.hpp"
+
+namespace ovnes::dataplane {
+
+enum class MiddleboxRegime { Forward, Buffer, PoliceSla };
+
+[[nodiscard]] const char* to_string(MiddleboxRegime r);
+
+struct MiddleboxSample {
+  MiddleboxRegime regime = MiddleboxRegime::Forward;
+  Mbps delivered = 0.0;     ///< rate handed to the user side this interval
+  Mbps dropped_sla = 0.0;   ///< rate dropped by SLA policing (regime 1)
+  Mbps dropped_overflow = 0.0;  ///< buffer-overflow drops (finite backlog)
+  double backlog_mb = 0.0;  ///< megabits queued after this interval
+};
+
+class SplitTcpMiddlebox {
+ public:
+  /// `sla_rate` = Λ, `max_backlog_mb` bounds the proxy buffer (megabits);
+  /// overflow is dropped (and should be rare under sane reservations).
+  SplitTcpMiddlebox(Mbps sla_rate, double max_backlog_mb = 1e4);
+
+  /// Advance one interval of `dt_sec` seconds with offered load λ and
+  /// reserved capacity z.
+  MiddleboxSample step(Mbps offered, Mbps reserved, double dt_sec);
+
+  [[nodiscard]] double backlog_mb() const { return backlog_mb_; }
+  [[nodiscard]] Mbps sla_rate() const { return sla_; }
+  void reset() { backlog_mb_ = 0.0; }
+
+ private:
+  Mbps sla_;
+  double max_backlog_mb_;
+  double backlog_mb_ = 0.0;
+};
+
+/// Classic token bucket used by packet-level shaping experiments.
+class TokenBucket {
+ public:
+  /// `rate` tokens (megabits) per second, bucket depth in megabits.
+  TokenBucket(double rate_mbps, double depth_mb);
+
+  /// Try to send `size_mb` at time `t_sec` (monotone); true if conformant.
+  bool try_consume(double size_mb, double t_sec);
+  [[nodiscard]] double tokens_at(double t_sec) const;
+  void set_rate(double rate_mbps) { refill_rate_ = rate_mbps; }
+
+ private:
+  void refill(double t_sec);
+  double refill_rate_;
+  double depth_mb_;
+  double tokens_;
+  double last_t_ = 0.0;
+};
+
+}  // namespace ovnes::dataplane

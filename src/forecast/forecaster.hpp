@@ -1,0 +1,49 @@
+// Forecasting sub-block of the E2E orchestrator (§2.2.2 "Forecasting").
+//
+// A Forecaster consumes the per-epoch peak loads λ(t) produced by the
+// monitoring function and predicts λ̂(t+δ) together with a normalized
+// uncertainty σ̂ ∈ (ε, 1] — the two quantities the AC-RR objective needs
+// (risk scaling ξ = σ̂·L and the risk denominator Λ − λ̂).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <memory>
+#include <string>
+
+namespace ovnes::forecast {
+
+struct Forecast {
+  double value = 0.0;        ///< λ̂: predicted peak demand
+  double uncertainty = 1.0;  ///< σ̂ ∈ (0, 1]: normalized prediction dispersion
+};
+
+/// Floor for σ̂; the paper requires σ̂ > 0 strictly.
+inline constexpr double kMinUncertainty = 1e-4;
+
+class Forecaster {
+ public:
+  virtual ~Forecaster() = default;
+
+  /// Feed one observed per-epoch peak λ(t).
+  virtual void observe(double value) = 0;
+
+  /// Predict λ̂(t+horizon); horizon >= 1.
+  [[nodiscard]] virtual Forecast forecast(std::size_t horizon = 1) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] std::size_t observations() const { return count_; }
+
+ protected:
+  void bump() { ++count_; }
+  static double clamp_sigma(double s) {
+    return std::clamp(s, kMinUncertainty, 1.0);
+  }
+
+ private:
+  std::size_t count_ = 0;
+};
+
+using ForecasterPtr = std::unique_ptr<Forecaster>;
+
+}  // namespace ovnes::forecast

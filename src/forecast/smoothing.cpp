@@ -1,0 +1,171 @@
+#include "forecast/smoothing.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ovnes::forecast {
+
+namespace {
+
+constexpr double kErrDecay = 0.15;  ///< EWMA factor for squared-error tracking
+
+double nrmse_sigma(double err_m2, double level) {
+  const double rmse = std::sqrt(std::max(err_m2, 0.0));
+  const double denom = std::max(std::abs(level), 1e-9);
+  return std::clamp(rmse / denom, kMinUncertainty, 1.0);
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------- SES
+
+SesForecaster::SesForecaster(double alpha) : alpha_(alpha) {
+  if (alpha <= 0.0 || alpha > 1.0) throw std::invalid_argument("ses alpha");
+}
+
+void SesForecaster::observe(double value) {
+  if (!primed_) {
+    level_ = value;
+    primed_ = true;
+  } else {
+    const double err = value - level_;
+    err_m2_ = (1.0 - kErrDecay) * err_m2_ + kErrDecay * err * err;
+    level_ = alpha_ * value + (1.0 - alpha_) * level_;
+  }
+  bump();
+}
+
+Forecast SesForecaster::forecast(std::size_t) const {
+  return {std::max(level_, 0.0), nrmse_sigma(err_m2_, level_)};
+}
+
+// ------------------------------------------------------------------ Holt
+
+HoltForecaster::HoltForecaster(double alpha, double beta)
+    : alpha_(alpha), beta_(beta) {
+  if (alpha <= 0.0 || alpha > 1.0) throw std::invalid_argument("holt alpha");
+  if (beta < 0.0 || beta > 1.0) throw std::invalid_argument("holt beta");
+}
+
+void HoltForecaster::observe(double value) {
+  if (!primed_) {
+    level_ = value;
+    trend_ = 0.0;
+    primed_ = true;
+  } else {
+    const double err = value - (level_ + trend_);
+    err_m2_ = (1.0 - kErrDecay) * err_m2_ + kErrDecay * err * err;
+    const double prev_level = level_;
+    level_ = alpha_ * value + (1.0 - alpha_) * (level_ + trend_);
+    trend_ = beta_ * (level_ - prev_level) + (1.0 - beta_) * trend_;
+  }
+  bump();
+}
+
+Forecast HoltForecaster::forecast(std::size_t horizon) const {
+  const double v = level_ + static_cast<double>(horizon) * trend_;
+  return {std::max(v, 0.0), nrmse_sigma(err_m2_, level_)};
+}
+
+// ----------------------------------------------------------- Holt-Winters
+
+HoltWintersForecaster::HoltWintersForecaster(std::size_t period,
+                                             Seasonality mode, double alpha,
+                                             double beta, double gamma)
+    : period_(period), mode_(mode), alpha_(alpha), beta_(beta), gamma_(gamma) {
+  if (period < 2) throw std::invalid_argument("holt-winters period must be >= 2");
+  if (alpha <= 0.0 || alpha > 1.0) throw std::invalid_argument("hw alpha");
+  if (beta < 0.0 || beta > 1.0) throw std::invalid_argument("hw beta");
+  if (gamma < 0.0 || gamma > 1.0) throw std::invalid_argument("hw gamma");
+}
+
+void HoltWintersForecaster::initialize_seasonal() {
+  // Classical initialization from the first two full seasons.
+  const std::size_t m = period_;
+  double mean1 = 0.0, mean2 = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    mean1 += warmup_[i];
+    mean2 += warmup_[m + i];
+  }
+  mean1 /= static_cast<double>(m);
+  mean2 /= static_cast<double>(m);
+  level_ = mean2;
+  trend_ = (mean2 - mean1) / static_cast<double>(m);
+  seasonal_.assign(m, mode_ == Seasonality::Multiplicative ? 1.0 : 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    const double base1 = std::max(mean1, 1e-9);
+    const double base2 = std::max(mean2, 1e-9);
+    if (mode_ == Seasonality::Multiplicative) {
+      seasonal_[i] = 0.5 * (warmup_[i] / base1 + warmup_[m + i] / base2);
+      seasonal_[i] = std::max(seasonal_[i], 1e-6);
+    } else {
+      seasonal_[i] = 0.5 * ((warmup_[i] - mean1) + (warmup_[m + i] - mean2));
+    }
+  }
+  season_pos_ = 0;  // next observation is phase 0 of season 3
+  seasonal_ready_ = true;
+  warmup_.clear();
+}
+
+void HoltWintersForecaster::observe(double value) {
+  bump();
+  if (!seasonal_ready_) {
+    warmup_.push_back(value);
+    if (warmup_.size() >= 2 * period_) initialize_seasonal();
+    return;
+  }
+  const double s = seasonal_[season_pos_];
+  const double predicted = mode_ == Seasonality::Multiplicative
+                               ? (level_ + trend_) * s
+                               : (level_ + trend_) + s;
+  const double err = value - predicted;
+  err_m2_ = (1.0 - kErrDecay) * err_m2_ + kErrDecay * err * err;
+
+  const double prev_level = level_;
+  if (mode_ == Seasonality::Multiplicative) {
+    const double deseason = value / std::max(s, 1e-9);
+    level_ = alpha_ * deseason + (1.0 - alpha_) * (level_ + trend_);
+    trend_ = beta_ * (level_ - prev_level) + (1.0 - beta_) * trend_;
+    seasonal_[season_pos_] =
+        std::max(gamma_ * (value / std::max(level_, 1e-9)) + (1.0 - gamma_) * s,
+                 1e-6);
+  } else {
+    level_ = alpha_ * (value - s) + (1.0 - alpha_) * (level_ + trend_);
+    trend_ = beta_ * (level_ - prev_level) + (1.0 - beta_) * trend_;
+    seasonal_[season_pos_] =
+        gamma_ * (value - level_) + (1.0 - gamma_) * s;
+  }
+  season_pos_ = (season_pos_ + 1) % period_;
+}
+
+Forecast HoltWintersForecaster::forecast(std::size_t horizon) const {
+  if (!seasonal_ready_) {
+    // Pre-seasonal fallback: Holt-like forecast from the warm-up buffer.
+    if (warmup_.empty()) return {0.0, 1.0};
+    double mean = 0.0;
+    for (double v : warmup_) mean += v;
+    mean /= static_cast<double>(warmup_.size());
+    return {std::max(mean, 0.0), 1.0};  // maximal uncertainty while warming up
+  }
+  const std::size_t phase = (season_pos_ + horizon - 1) % period_;
+  const double base = level_ + static_cast<double>(horizon) * trend_;
+  const double v = mode_ == Seasonality::Multiplicative
+                       ? base * seasonal_[phase]
+                       : base + seasonal_[phase];
+  return {std::max(v, 0.0), nrmse_sigma(err_m2_, level_)};
+}
+
+// ---------------------------------------------------------------- Oracle
+
+OracleForecaster::OracleForecaster(double mean, double cv)
+    : mean_(mean), cv_(cv) {
+  if (mean < 0.0) throw std::invalid_argument("oracle mean");
+  if (cv < 0.0) throw std::invalid_argument("oracle cv");
+}
+
+Forecast OracleForecaster::forecast(std::size_t) const {
+  return {mean_, clamp_sigma(cv_)};
+}
+
+}  // namespace ovnes::forecast

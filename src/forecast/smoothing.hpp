@@ -1,0 +1,95 @@
+// Exponential-smoothing forecaster family.
+//
+// §2.2.2: "Exponential smoothing methods are common ... the main drawback of
+// (double) exponential smoothing is the inability to account for
+// seasonalities. Hence, our forecasting algorithm is based on a
+// three-smoothing function ... the multiplicative version of Holt-Winters."
+//
+// We provide all three rungs of that ladder — SES (single), Holt (double)
+// and Holt-Winters (triple, additive or multiplicative seasonality) — plus
+// an oracle used by simulations to model a converged forecaster. σ̂ is the
+// normalized RMSE of the one-step-ahead forecast errors.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "forecast/forecaster.hpp"
+
+namespace ovnes::forecast {
+
+/// Simple (single) exponential smoothing: level only.
+class SesForecaster final : public Forecaster {
+ public:
+  explicit SesForecaster(double alpha = 0.3);
+  void observe(double value) override;
+  [[nodiscard]] Forecast forecast(std::size_t horizon = 1) const override;
+  [[nodiscard]] std::string name() const override { return "ses"; }
+
+ private:
+  double alpha_;
+  double level_ = 0.0;
+  double err_m2_ = 0.0;  ///< running mean of squared one-step errors
+  bool primed_ = false;
+};
+
+/// Holt's double exponential smoothing: level + trend.
+class HoltForecaster final : public Forecaster {
+ public:
+  HoltForecaster(double alpha = 0.3, double beta = 0.1);
+  void observe(double value) override;
+  [[nodiscard]] Forecast forecast(std::size_t horizon = 1) const override;
+  [[nodiscard]] std::string name() const override { return "holt"; }
+
+ private:
+  double alpha_, beta_;
+  double level_ = 0.0, trend_ = 0.0;
+  double err_m2_ = 0.0;
+  bool primed_ = false;
+};
+
+enum class Seasonality { Additive, Multiplicative };
+
+/// Holt-Winters triple exponential smoothing with season length `period`.
+/// Until two full seasons have been observed it behaves like Holt (level +
+/// trend) so early epochs still produce usable forecasts.
+class HoltWintersForecaster final : public Forecaster {
+ public:
+  HoltWintersForecaster(std::size_t period,
+                        Seasonality mode = Seasonality::Multiplicative,
+                        double alpha = 0.35, double beta = 0.05,
+                        double gamma = 0.25);
+  void observe(double value) override;
+  [[nodiscard]] Forecast forecast(std::size_t horizon = 1) const override;
+  [[nodiscard]] std::string name() const override { return "holt_winters"; }
+  [[nodiscard]] bool seasonal_ready() const { return seasonal_ready_; }
+
+ private:
+  void initialize_seasonal();
+
+  std::size_t period_;
+  Seasonality mode_;
+  double alpha_, beta_, gamma_;
+  double level_ = 0.0, trend_ = 0.0;
+  std::vector<double> seasonal_;
+  std::deque<double> warmup_;   ///< observations until 2 seasons are available
+  std::size_t season_pos_ = 0;  ///< phase within the current season
+  double err_m2_ = 0.0;
+  bool seasonal_ready_ = false;
+};
+
+/// Oracle: returns a configured (mean, cv) regardless of observations.
+/// Models the asymptotic behaviour of a converged forecaster — used by the
+/// Fig. 5/6 simulations after warm-up and by ablation A1 as the upper bound.
+class OracleForecaster final : public Forecaster {
+ public:
+  OracleForecaster(double mean, double cv);
+  void observe(double value) override { bump(); (void)value; }
+  [[nodiscard]] Forecast forecast(std::size_t horizon = 1) const override;
+  [[nodiscard]] std::string name() const override { return "oracle"; }
+
+ private:
+  double mean_, cv_;
+};
+
+}  // namespace ovnes::forecast

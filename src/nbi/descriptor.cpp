@@ -1,0 +1,120 @@
+#include "nbi/descriptor.hpp"
+
+namespace ovnes::nbi {
+
+using json::Array;
+using json::Object;
+using json::Value;
+
+bool operator==(const VnfDescriptor& a, const VnfDescriptor& b) {
+  return a.name == b.name && a.kind == b.kind && a.vcpu == b.vcpu &&
+         a.memory_gb == b.memory_gb && a.image == b.image;
+}
+bool operator==(const PnfDescriptor& a, const PnfDescriptor& b) {
+  return a.name == b.name && a.kind == b.kind && a.share == b.share;
+}
+bool operator==(const VirtualLinkDescriptor& a, const VirtualLinkDescriptor& b) {
+  return a.name == b.name && a.bitrate == b.bitrate &&
+         a.max_latency == b.max_latency;
+}
+
+Value NetworkServiceDescriptor::to_json() const {
+  Object o;
+  o["name"] = name;
+  o["tenant"] = tenant;
+  o["slice_type"] = slice_type;
+  o["sla_rate_mbps"] = sla_rate;
+  o["delay_budget_us"] = delay_budget;
+  o["duration_epochs"] = static_cast<double>(duration_epochs);
+  o["placement_cu"] = placement_cu;
+  Array vnf_arr;
+  for (const VnfDescriptor& v : vnfs) {
+    Object vo;
+    vo["name"] = v.name;
+    vo["kind"] = v.kind;
+    vo["vcpu"] = v.vcpu;
+    vo["memory_gb"] = v.memory_gb;
+    vo["image"] = v.image;
+    vnf_arr.emplace_back(std::move(vo));
+  }
+  o["vnfs"] = std::move(vnf_arr);
+  Array pnf_arr;
+  for (const PnfDescriptor& p : pnfs) {
+    Object po;
+    po["name"] = p.name;
+    po["kind"] = p.kind;
+    po["share"] = p.share;
+    pnf_arr.emplace_back(std::move(po));
+  }
+  o["pnfs"] = std::move(pnf_arr);
+  Array vl_arr;
+  for (const VirtualLinkDescriptor& l : links) {
+    Object lo;
+    lo["name"] = l.name;
+    lo["bitrate_mbps"] = l.bitrate;
+    lo["max_latency_us"] = l.max_latency;
+    vl_arr.emplace_back(std::move(lo));
+  }
+  o["virtual_links"] = std::move(vl_arr);
+  return Value(std::move(o));
+}
+
+NetworkServiceDescriptor NetworkServiceDescriptor::from_json(const Value& v) {
+  NetworkServiceDescriptor d;
+  d.name = v.at("name").as_string();
+  d.tenant = v.at("tenant").as_string();
+  d.slice_type = v.at("slice_type").as_string();
+  d.sla_rate = v.at("sla_rate_mbps").as_number();
+  d.delay_budget = v.at("delay_budget_us").as_number();
+  d.duration_epochs =
+      static_cast<std::size_t>(v.at("duration_epochs").as_number());
+  d.placement_cu = v.at("placement_cu").as_string();
+  for (const Value& e : v.at("vnfs").as_array()) {
+    d.vnfs.push_back({e.at("name").as_string(), e.at("kind").as_string(),
+                      e.at("vcpu").as_number(), e.at("memory_gb").as_number(),
+                      e.at("image").as_string()});
+  }
+  for (const Value& e : v.at("pnfs").as_array()) {
+    d.pnfs.push_back({e.at("name").as_string(), e.at("kind").as_string(),
+                      e.at("share").as_number()});
+  }
+  for (const Value& e : v.at("virtual_links").as_array()) {
+    d.links.push_back({e.at("name").as_string(),
+                       e.at("bitrate_mbps").as_number(),
+                       e.at("max_latency_us").as_number()});
+  }
+  return d;
+}
+
+NetworkServiceDescriptor make_network_service(
+    const slice::SliceRequest& request, std::size_t num_bs) {
+  NetworkServiceDescriptor d;
+  d.name = "ns-" + request.name;
+  d.tenant = request.name;
+  d.slice_type = slice::to_string(request.tmpl.type);
+  d.sla_rate = request.tmpl.sla_rate;
+  d.delay_budget = request.tmpl.delay_budget;
+  d.duration_epochs = request.duration_epochs;
+
+  // Compute sizing from the service model at SLA load across all BSs.
+  const double aggregate_sla =
+      request.tmpl.sla_rate * static_cast<double>(num_bs);
+  const Cores vs_cores = request.tmpl.service.baseline +
+                         request.tmpl.service.cores_per_mbps * aggregate_sla;
+  d.vnfs.push_back({"vepc-" + request.name, "vepc", 2.0, 4.0, "openepc-r7"});
+  d.vnfs.push_back(
+      {"mbx-" + request.name, "middlebox", 1.0, 2.0, "split-tcp-proxy"});
+  d.vnfs.push_back(
+      {"vs-" + request.name, "vertical-service", vs_cores, 8.0, "tenant-vs"});
+
+  for (std::size_t b = 0; b < num_bs; ++b) {
+    d.pnfs.push_back({"bs" + std::to_string(b) + "-" + request.name, "bs",
+                      /*share=*/0.0});  // PRB share filled by the RAN controller
+  }
+  d.links.push_back({"vl-access", aggregate_sla, request.tmpl.delay_budget});
+  d.links.push_back({"vl-epc-mbx", aggregate_sla, 1000.0});
+  d.links.push_back({"vl-mbx-vs", aggregate_sla, 1000.0});
+  return d;
+}
+
+}  // namespace ovnes::nbi

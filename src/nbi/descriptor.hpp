@@ -1,0 +1,74 @@
+// Northbound interface: ETSI-NFV-style network-service descriptors.
+//
+// §2.2.1/2.2.2: the slice manager models each slice's network service as a
+// TOSCA template — a chain of PNFs (BS slices, switches), the VNFs that
+// connect users to the vertical service (vEPC, rate-control middlebox) and
+// the VS itself — and ships it to the E2E orchestrator over REST; the
+// orchestrator amends it with reservation decisions and pushes it to the
+// domain controllers (ETSI GS NFV-IFA 005). We reproduce the data model and
+// its JSON wire format; the REST transport is out of scope (in-process
+// calls replace it, see DESIGN.md).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/units.hpp"
+#include "slice/slice.hpp"
+
+namespace ovnes::nbi {
+
+/// A virtualized network function of the NS chain (Fig. 1).
+struct VnfDescriptor {
+  std::string name;
+  std::string kind;     ///< "vepc" | "middlebox" | "vertical-service"
+  Cores vcpu = 0.0;
+  double memory_gb = 0.0;
+  std::string image;    ///< VM image reference (on-boarding artifact)
+};
+
+/// A physical network function the slice gets a share of.
+struct PnfDescriptor {
+  std::string name;
+  std::string kind;     ///< "bs" | "switch"
+  double share = 0.0;   ///< PRBs for a BS slice, Mb/s for a switch port
+};
+
+/// Virtual link of the service chain with its reserved QoS.
+struct VirtualLinkDescriptor {
+  std::string name;
+  Mbps bitrate = 0.0;
+  Micros max_latency = 0.0;
+};
+
+struct NetworkServiceDescriptor {
+  std::string name;
+  std::string tenant;
+  std::string slice_type;   ///< "embb" | "mmtc" | "urllc"
+  Mbps sla_rate = 0.0;      ///< Λ
+  Micros delay_budget = 0.0;
+  std::size_t duration_epochs = 0;
+  std::string placement_cu; ///< filled in by the orchestrator
+  std::vector<VnfDescriptor> vnfs;
+  std::vector<PnfDescriptor> pnfs;
+  std::vector<VirtualLinkDescriptor> links;
+
+  [[nodiscard]] json::Value to_json() const;
+  [[nodiscard]] static NetworkServiceDescriptor from_json(const json::Value& v);
+
+  friend bool operator==(const NetworkServiceDescriptor&,
+                         const NetworkServiceDescriptor&) = default;
+};
+
+bool operator==(const VnfDescriptor&, const VnfDescriptor&);
+bool operator==(const PnfDescriptor&, const PnfDescriptor&);
+bool operator==(const VirtualLinkDescriptor&, const VirtualLinkDescriptor&);
+
+/// Build the canonical Fig. 1 service chain for a slice request: one vEPC,
+/// one rate-control middlebox and the tenant's VS, connected by virtual
+/// links sized at the SLA rate, plus one BS-slice PNF per radio site.
+[[nodiscard]] NetworkServiceDescriptor make_network_service(
+    const slice::SliceRequest& request, std::size_t num_bs);
+
+}  // namespace ovnes::nbi

@@ -1,0 +1,164 @@
+#include "orch/controllers.hpp"
+
+#include <algorithm>
+
+namespace ovnes::orch {
+
+// ------------------------------------------------------------------- RAN
+
+RanController::RanController(const topo::Topology& topo) : topo_(&topo) {}
+
+EnforceResult RanController::grant(const std::string& slice, BsId b,
+                                   Prbs prbs) {
+  if (prbs < 0.0) return EnforceResult::failure("negative PRB grant");
+  auto& per_bs = grants_[slice];
+  per_bs.resize(topo_->num_bs(), 0.0);
+  const Prbs previous = per_bs[b.index()];
+  const Prbs other = total_granted(b) - previous;
+  if (other + prbs > topo_->bs(b).capacity + 1e-6) {
+    return EnforceResult::failure(
+        "bs" + std::to_string(b.value()) + ": grant of " +
+        std::to_string(prbs) + " PRBs exceeds free capacity");
+  }
+  per_bs[b.index()] = prbs;
+  return EnforceResult::success();
+}
+
+void RanController::release(const std::string& slice) { grants_.erase(slice); }
+
+Prbs RanController::granted(const std::string& slice, BsId b) const {
+  const auto it = grants_.find(slice);
+  if (it == grants_.end() || b.index() >= it->second.size()) return 0.0;
+  return it->second[b.index()];
+}
+
+Prbs RanController::total_granted(BsId b) const {
+  Prbs total = 0.0;
+  for (const auto& [_, per_bs] : grants_) {
+    if (b.index() < per_bs.size()) total += per_bs[b.index()];
+  }
+  return total;
+}
+
+Prbs RanController::free_capacity(BsId b) const {
+  return topo_->bs(b).capacity - total_granted(b);
+}
+
+// ------------------------------------------------------------- Transport
+
+TransportController::TransportController(const topo::Topology& topo)
+    : topo_(&topo), reserved_(topo.graph.num_links(), 0.0) {}
+
+EnforceResult TransportController::install(FlowRule rule) {
+  if (rule.rate < 0.0) return EnforceResult::failure("negative rate");
+  // Remove any existing rule for (slice, bs) first (replace semantics).
+  auto& slice_rules = rules_[rule.slice];
+  for (auto it = slice_rules.begin(); it != slice_rules.end(); ++it) {
+    if (it->bs == rule.bs) {
+      for (LinkId e : it->links) reserved_[e.index()] -= it->rate;
+      slice_rules.erase(it);
+      break;
+    }
+  }
+  // Validate residual capacity along the new path.
+  for (LinkId e : rule.links) {
+    const double overhead = topo_->graph.link(e).overhead;
+    if (reserved_[e.index()] + rule.rate * overhead >
+        topo_->graph.link(e).capacity + 1e-6) {
+      return EnforceResult::failure("link" + std::to_string(e.value()) +
+                                    ": insufficient residual capacity");
+    }
+  }
+  for (LinkId e : rule.links) {
+    reserved_[e.index()] += rule.rate * topo_->graph.link(e).overhead;
+  }
+  slice_rules.push_back(std::move(rule));
+  return EnforceResult::success();
+}
+
+void TransportController::release(const std::string& slice) {
+  const auto it = rules_.find(slice);
+  if (it == rules_.end()) return;
+  for (const FlowRule& r : it->second) {
+    for (LinkId e : r.links) {
+      reserved_[e.index()] -= r.rate * topo_->graph.link(e).overhead;
+    }
+  }
+  rules_.erase(it);
+}
+
+Mbps TransportController::reserved_on(LinkId e) const {
+  return reserved_[e.index()];
+}
+
+Mbps TransportController::free_capacity(LinkId e) const {
+  return topo_->graph.link(e).capacity - reserved_[e.index()];
+}
+
+std::vector<FlowRule> TransportController::rules_of(
+    const std::string& slice) const {
+  const auto it = rules_.find(slice);
+  return it == rules_.end() ? std::vector<FlowRule>{} : it->second;
+}
+
+std::size_t TransportController::num_rules() const {
+  std::size_t n = 0;
+  for (const auto& [_, rules] : rules_) n += rules.size();
+  return n;
+}
+
+// ----------------------------------------------------------------- Cloud
+
+CloudController::CloudController(const topo::Topology& topo) : topo_(&topo) {}
+
+EnforceResult CloudController::instantiate(const std::string& slice, CuId cu,
+                                           Cores cores) {
+  if (cores < 0.0) return EnforceResult::failure("negative core request");
+  const auto it = deployments_.find(slice);
+  Cores already_here = 0.0;
+  if (it != deployments_.end()) {
+    if (!(it->second.cu == cu)) {
+      // Migration: free the old CU first (the orchestrator never migrates
+      // pinned slices, but the controller supports it).
+      deployments_.erase(it);
+    } else {
+      already_here = it->second.cores;
+    }
+  }
+  if (total_pinned(cu) - already_here + cores >
+      topo_->cu(cu).capacity + 1e-6) {
+    return EnforceResult::failure("cu" + std::to_string(cu.value()) +
+                                  ": not enough free cores to pin");
+  }
+  deployments_[slice] = {cu, cores};
+  return EnforceResult::success();
+}
+
+void CloudController::release(const std::string& slice) {
+  deployments_.erase(slice);
+}
+
+std::optional<CuId> CloudController::placement(const std::string& slice) const {
+  const auto it = deployments_.find(slice);
+  if (it == deployments_.end()) return std::nullopt;
+  return it->second.cu;
+}
+
+Cores CloudController::pinned(const std::string& slice) const {
+  const auto it = deployments_.find(slice);
+  return it == deployments_.end() ? 0.0 : it->second.cores;
+}
+
+Cores CloudController::total_pinned(CuId cu) const {
+  Cores total = 0.0;
+  for (const auto& [_, d] : deployments_) {
+    if (d.cu == cu) total += d.cores;
+  }
+  return total;
+}
+
+Cores CloudController::free_capacity(CuId cu) const {
+  return topo_->cu(cu).capacity - total_pinned(cu);
+}
+
+}  // namespace ovnes::orch

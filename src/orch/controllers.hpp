@@ -1,0 +1,111 @@
+// Domain controllers (Fig. 2): the southbound layer the E2E orchestrator
+// drives to enforce its decisions.
+//
+// The paper's prototype uses a proprietary RAN interface (PRB shares per
+// PLMN-id), Floodlight + OpenFlow for the transport, and OpenStack
+// Heat/Keystone with CPU pinning for the clouds. We reproduce the
+// *control contracts* of those controllers: each keeps authoritative
+// domain state, validates that an enforcement request fits the physical
+// capacity, and exposes the per-slice configuration it would program into
+// the equipment (PRB shares, flow rules, pinned vCPU sets). Controllers
+// are stateless with respect to orchestration (§2.2.2): they hold only
+// domain configuration, never admission logic.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/units.hpp"
+#include "topo/topology.hpp"
+
+namespace ovnes::orch {
+
+/// Outcome of an enforcement call; failures carry a reason for operators.
+struct EnforceResult {
+  bool ok = true;
+  std::string error;
+
+  static EnforceResult success() { return {true, {}}; }
+  static EnforceResult failure(std::string why) { return {false, std::move(why)}; }
+};
+
+/// RAN controller: grants PRB shares of each BS to slices (the paper maps
+/// slices to PLMN-ids on NEC small cells).
+class RanController {
+ public:
+  explicit RanController(const topo::Topology& topo);
+
+  /// Grant `prbs` of BS `b` to `slice`; replaces any previous grant.
+  EnforceResult grant(const std::string& slice, BsId b, Prbs prbs);
+  /// Release all grants of a slice (teardown).
+  void release(const std::string& slice);
+
+  [[nodiscard]] Prbs granted(const std::string& slice, BsId b) const;
+  [[nodiscard]] Prbs total_granted(BsId b) const;
+  [[nodiscard]] Prbs free_capacity(BsId b) const;
+
+ private:
+  const topo::Topology* topo_;
+  // slice -> per-BS PRB grant
+  std::map<std::string, std::vector<Prbs>> grants_;
+};
+
+/// One OpenFlow-style rule: traffic of `slice` from BS `b` follows `links`
+/// with `rate` reserved on each.
+struct FlowRule {
+  std::string slice;
+  BsId bs;
+  std::vector<LinkId> links;
+  Mbps rate = 0.0;
+};
+
+/// Transport (SDN) controller: installs per-slice path reservations and
+/// tracks residual link capacity (Floodlight surrogate).
+class TransportController {
+ public:
+  explicit TransportController(const topo::Topology& topo);
+
+  /// Install (or replace) the rule for (slice, bs). Validates that every
+  /// link on the path retains non-negative residual capacity.
+  EnforceResult install(FlowRule rule);
+  void release(const std::string& slice);
+
+  [[nodiscard]] Mbps reserved_on(LinkId e) const;
+  [[nodiscard]] Mbps free_capacity(LinkId e) const;
+  [[nodiscard]] std::vector<FlowRule> rules_of(const std::string& slice) const;
+  [[nodiscard]] std::size_t num_rules() const;
+
+ private:
+  const topo::Topology* topo_;
+  std::map<std::string, std::vector<FlowRule>> rules_;  // slice -> rules
+  std::vector<Mbps> reserved_;                          // per link
+};
+
+/// Cloud controller: instantiates the NS compute (vEPC, middlebox, VS) on a
+/// CU with CPU pinning — the OpenStack Heat/Keystone surrogate.
+class CloudController {
+ public:
+  explicit CloudController(const topo::Topology& topo);
+
+  /// Instantiate (or resize) the slice's stack on `cu` with `cores` pinned.
+  EnforceResult instantiate(const std::string& slice, CuId cu, Cores cores);
+  void release(const std::string& slice);
+
+  [[nodiscard]] std::optional<CuId> placement(const std::string& slice) const;
+  [[nodiscard]] Cores pinned(const std::string& slice) const;
+  [[nodiscard]] Cores total_pinned(CuId cu) const;
+  [[nodiscard]] Cores free_capacity(CuId cu) const;
+
+ private:
+  const topo::Topology* topo_;
+  struct Deployment {
+    CuId cu;
+    Cores cores = 0.0;
+  };
+  std::map<std::string, Deployment> deployments_;
+};
+
+}  // namespace ovnes::orch

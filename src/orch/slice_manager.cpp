@@ -1,0 +1,87 @@
+#include "orch/slice_manager.hpp"
+
+namespace ovnes::orch {
+
+const char* to_string(SliceState s) {
+  switch (s) {
+    case SliceState::Pending: return "pending";
+    case SliceState::Active: return "active";
+    case SliceState::Rejected: return "rejected";
+    case SliceState::Expired: return "expired";
+  }
+  return "?";
+}
+
+SliceManager::SubmitResult SliceManager::submit(slice::SliceRequest request) {
+  SubmitResult out;
+  if (request.name.empty()) {
+    out.error = "slice name must not be empty";
+    return out;
+  }
+  if (records_.count(request.name)) {
+    out.error = "slice '" + request.name + "' already exists";
+    return out;
+  }
+  if (request.tmpl.sla_rate <= 0.0) {
+    out.error = "Λ must be positive";
+    return out;
+  }
+  if (request.tmpl.delay_budget <= 0.0) {
+    out.error = "∆ must be positive";
+    return out;
+  }
+  if (request.duration_epochs == 0) {
+    out.error = "L must be at least one epoch";
+    return out;
+  }
+  if (request.declared_mean < 0.0 || request.declared_std < 0.0 ||
+      request.declared_mean > request.tmpl.sla_rate) {
+    out.error = "declared traffic descriptor out of range";
+    return out;
+  }
+  SliceRecord rec;
+  rec.descriptor = nbi::make_network_service(request, num_bs_);
+  rec.request = std::move(request);
+  out.name = rec.request.name;
+  records_.emplace(out.name, std::move(rec));
+  out.ok = true;
+  return out;
+}
+
+void SliceManager::mark_active(const std::string& name, std::size_t epoch,
+                               const std::string& placement_cu) {
+  const auto it = records_.find(name);
+  if (it == records_.end()) return;
+  it->second.state = SliceState::Active;
+  it->second.decided_epoch = epoch;
+  it->second.descriptor.placement_cu = placement_cu;
+}
+
+void SliceManager::mark_rejected(const std::string& name, std::size_t epoch) {
+  const auto it = records_.find(name);
+  if (it == records_.end()) return;
+  it->second.state = SliceState::Rejected;
+  it->second.decided_epoch = epoch;
+}
+
+void SliceManager::mark_expired(const std::string& name, std::size_t epoch) {
+  const auto it = records_.find(name);
+  if (it == records_.end()) return;
+  it->second.state = SliceState::Expired;
+  it->second.decided_epoch = epoch;
+}
+
+const SliceRecord* SliceManager::find(const std::string& name) const {
+  const auto it = records_.find(name);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+std::vector<const SliceRecord*> SliceManager::in_state(SliceState s) const {
+  std::vector<const SliceRecord*> out;
+  for (const auto& [_, rec] : records_) {
+    if (rec.state == s) out.push_back(&rec);
+  }
+  return out;
+}
+
+}  // namespace ovnes::orch

@@ -1,0 +1,58 @@
+// Slice manager (top of the Fig. 2 hierarchy): the tenant-facing entry
+// point. Tenants submit Φτ requests (the paper exposes this as a web app);
+// the manager validates them, renders the TOSCA-like network-service
+// descriptor, tracks the slice lifecycle, and forwards decisions from the
+// E2E orchestrator back to the tenant. It is deliberately stateless about
+// *resources* — only the orchestrator owns system state (§2.2.2).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "nbi/descriptor.hpp"
+#include "slice/slice.hpp"
+
+namespace ovnes::orch {
+
+enum class SliceState { Pending, Active, Rejected, Expired };
+
+[[nodiscard]] const char* to_string(SliceState s);
+
+struct SliceRecord {
+  slice::SliceRequest request;
+  nbi::NetworkServiceDescriptor descriptor;
+  SliceState state = SliceState::Pending;
+  std::size_t decided_epoch = 0;  ///< epoch of the admission decision
+};
+
+class SliceManager {
+ public:
+  explicit SliceManager(std::size_t num_bs) : num_bs_(num_bs) {}
+
+  /// Validate Φτ and register it. Returns the slice name on success or an
+  /// error message (empty name) on validation failure.
+  struct SubmitResult {
+    bool ok = false;
+    std::string error;
+    std::string name;
+  };
+  SubmitResult submit(slice::SliceRequest request);
+
+  /// Orchestrator callbacks.
+  void mark_active(const std::string& name, std::size_t epoch,
+                   const std::string& placement_cu);
+  void mark_rejected(const std::string& name, std::size_t epoch);
+  void mark_expired(const std::string& name, std::size_t epoch);
+
+  [[nodiscard]] const SliceRecord* find(const std::string& name) const;
+  [[nodiscard]] std::vector<const SliceRecord*> in_state(SliceState s) const;
+  [[nodiscard]] std::size_t count() const { return records_.size(); }
+
+ private:
+  std::size_t num_bs_;
+  std::map<std::string, SliceRecord> records_;
+};
+
+}  // namespace ovnes::orch

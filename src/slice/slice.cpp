@@ -1,0 +1,71 @@
+#include "slice/slice.hpp"
+
+#include <algorithm>
+
+namespace ovnes::slice {
+
+const char* to_string(SliceType t) {
+  switch (t) {
+    case SliceType::eMBB: return "embb";
+    case SliceType::mMTC: return "mmtc";
+    case SliceType::uRLLC: return "urllc";
+  }
+  return "?";
+}
+
+SliceType slice_type_from_string(const std::string& s) {
+  if (s == "embb" || s == "eMBB") return SliceType::eMBB;
+  if (s == "mmtc" || s == "mMTC") return SliceType::mMTC;
+  if (s == "urllc" || s == "uRLLC") return SliceType::uRLLC;
+  throw std::invalid_argument("unknown slice type: " + s);
+}
+
+SliceTemplate standard_template(SliceType type) {
+  SliceTemplate t;
+  t.type = type;
+  switch (type) {
+    case SliceType::eMBB:
+      t.reward = 1.0;
+      t.delay_budget = 30000.0;  // 30 ms
+      t.sla_rate = 50.0;
+      t.service = {0.0, 0.0};
+      break;
+    case SliceType::mMTC:
+      // Table 1: R = (1 + b) with b = 2 CPU/(Mb/s).
+      t.service = {0.0, 2.0};
+      t.reward = 1.0 + t.service.cores_per_mbps;
+      t.delay_budget = 30000.0;
+      t.sla_rate = 10.0;
+      break;
+    case SliceType::uRLLC:
+      // Table 1: R = (2 + b) with b = 0.2 CPU/(Mb/s).
+      t.service = {0.0, 0.2};
+      t.reward = 2.0 + t.service.cores_per_mbps;
+      t.delay_budget = 5000.0;  // 5 ms
+      t.sla_rate = 25.0;
+      break;
+  }
+  return t;
+}
+
+void RevenueLedger::add_sample(Mbps demand_within_sla, Mbps reserved,
+                               Money penalty_rate) {
+  ++samples_;
+  const double shortfall = demand_within_sla - reserved;
+  if (shortfall > 1e-9) {
+    ++violations_;
+    penalty_ += penalty_rate * shortfall;
+    if (demand_within_sla > 0.0) {
+      max_drop_frac_ =
+          std::max(max_drop_frac_, shortfall / demand_within_sla);
+    }
+  }
+}
+
+double RevenueLedger::violation_probability() const {
+  return samples_ == 0
+             ? 0.0
+             : static_cast<double>(violations_) / static_cast<double>(samples_);
+}
+
+}  // namespace ovnes::slice

@@ -1,0 +1,82 @@
+// Linear / mixed-integer program builder.
+//
+// This is the in-repo replacement for the paper's use of IBM CPLEX
+// (§5, footnote 13). The AC-RR formulations of §3 are assembled as an
+// LpModel and handed to the SimplexSolver (LP relaxations, Benders slave)
+// or the BranchAndBound solver (master problem, no-overbooking baseline).
+//
+// Conventions:
+//  * objective sense is MINIMIZE (the paper's Problems 1-6 are all min);
+//  * rows are a·x {<=,>=,==} rhs;
+//  * every variable must have at least one finite bound (the AC-RR models
+//    are naturally box-bounded).
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace ovnes::solver {
+
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+enum class RowSense { LessEq, GreaterEq, Equal };
+
+struct Coef {
+  int var = 0;
+  double value = 0.0;
+};
+
+struct Variable {
+  std::string name;
+  double lower = 0.0;
+  double upper = kInf;
+  double cost = 0.0;      ///< objective coefficient
+  bool is_integer = false;
+  int branch_priority = 0;  ///< lower value = branched on earlier
+};
+
+struct Rowdef {
+  std::string name;
+  RowSense sense = RowSense::LessEq;
+  double rhs = 0.0;
+  std::vector<Coef> coefs;
+};
+
+class LpModel {
+ public:
+  /// Add a continuous variable; returns its index.
+  int add_variable(std::string name, double lower, double upper, double cost);
+  /// Add a binary variable with the given branching priority.
+  int add_binary(std::string name, double cost, int branch_priority = 0);
+
+  /// Add a row; duplicate `var` entries in coefs are summed.
+  int add_row(std::string name, RowSense sense, double rhs,
+              std::vector<Coef> coefs);
+
+  /// Adjust an existing variable's objective coefficient.
+  void set_cost(int var, double cost) { vars_[static_cast<size_t>(var)].cost = cost; }
+  void set_bounds(int var, double lower, double upper);
+
+  [[nodiscard]] int num_vars() const { return static_cast<int>(vars_.size()); }
+  [[nodiscard]] int num_rows() const { return static_cast<int>(rows_.size()); }
+  [[nodiscard]] const Variable& variable(int j) const { return vars_[static_cast<size_t>(j)]; }
+  [[nodiscard]] const Rowdef& row(int i) const { return rows_[static_cast<size_t>(i)]; }
+  [[nodiscard]] const std::vector<Variable>& variables() const { return vars_; }
+  [[nodiscard]] const std::vector<Rowdef>& rows() const { return rows_; }
+
+  /// Indices of integer-marked variables.
+  [[nodiscard]] std::vector<int> integer_vars() const;
+
+  /// Objective value of a given assignment (no feasibility check).
+  [[nodiscard]] double objective_value(const std::vector<double>& x) const;
+
+  /// Max constraint violation of an assignment (for tests / sanity checks).
+  [[nodiscard]] double max_violation(const std::vector<double>& x) const;
+
+ private:
+  std::vector<Variable> vars_;
+  std::vector<Rowdef> rows_;
+};
+
+}  // namespace ovnes::solver

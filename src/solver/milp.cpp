@@ -1,0 +1,240 @@
+#include "solver/milp.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cmath>
+#include <limits>
+#include <tuple>
+
+namespace ovnes::solver {
+
+const char* to_string(MilpStatus s) {
+  switch (s) {
+    case MilpStatus::Optimal: return "optimal";
+    case MilpStatus::Feasible: return "feasible";
+    case MilpStatus::Infeasible: return "infeasible";
+    case MilpStatus::NoSolution: return "no_solution";
+  }
+  return "unknown";
+}
+
+double MilpResult::gap() const {
+  if (status == MilpStatus::Optimal) return 0.0;
+  if (status != MilpStatus::Feasible) return kInf;
+  return (objective - best_bound) / std::max(1.0, std::abs(objective));
+}
+
+namespace {
+
+struct Node {
+  // Bound overrides relative to the root model: (var, lower, upper).
+  std::vector<std::tuple<int, double, double>> fixes;
+  double parent_bound = -kInf;  ///< LP bound of the parent (for pruning)
+  int depth = 0;
+};
+
+class BranchAndBound {
+ public:
+  BranchAndBound(const LpModel& model, const MilpOptions& opts)
+      : base_(model), opts_(opts), int_vars_(model.integer_vars()) {}
+
+  MilpResult run() {
+    MilpResult res;
+    const auto t0 = std::chrono::steady_clock::now();
+    double incumbent = kInf;
+    std::vector<double> best_x;
+    if (opts_.dive_heuristic) dive(incumbent, best_x, res);
+    std::vector<Node> stack;
+    stack.push_back(Node{});
+    // Track the minimum over open nodes' parent bounds for best_bound.
+    double root_bound = -kInf;
+    bool root_solved = false;
+    bool hit_limit = false;
+
+    while (!stack.empty()) {
+      if (res.nodes >= opts_.max_nodes || elapsed_sec(t0) > opts_.time_limit_sec) {
+        hit_limit = true;
+        break;
+      }
+      Node node = std::move(stack.back());
+      stack.pop_back();
+      ++res.nodes;
+
+      if (node.parent_bound >= incumbent - absolute_gap(incumbent)) {
+        continue;  // cannot improve
+      }
+
+      // Apply node bounds onto a working copy of the model.
+      LpModel work = base_;
+      for (const auto& [var, lo, hi] : node.fixes) work.set_bounds(var, lo, hi);
+
+      const LpResult lp = solve_lp(work, opts_.lp);
+      res.lp_iterations += lp.iterations;
+      if (lp.status == LpStatus::Infeasible) continue;
+      if (lp.status != LpStatus::Optimal) {
+        // Unbounded relaxation or iteration trouble: treat conservatively.
+        if (lp.status == LpStatus::Unbounded) {
+          res.status = MilpStatus::NoSolution;
+          res.best_bound = -kInf;
+          return res;
+        }
+        hit_limit = true;
+        continue;
+      }
+      if (!root_solved) {
+        root_bound = lp.objective;
+        root_solved = true;
+      }
+      if (lp.objective >= incumbent - absolute_gap(incumbent)) continue;
+
+      const int frac = pick_branch_var(lp.x);
+      if (frac < 0) {
+        // Integer feasible.
+        if (std::getenv("OVNES_MILP_DEBUG") && work.max_violation(lp.x) > 1e-5) {
+          std::fprintf(stderr, "MILP DEBUG: integral node violates by %g (obj %g)\n",
+                       work.max_violation(lp.x), lp.objective);
+          SimplexOptions strict = opts_.lp;
+          strict.refresh_interval = 1;
+          const LpResult lp2 = solve_lp(work, strict);
+          std::fprintf(stderr, "  strict resolve: status=%s obj=%g viol=%g\n",
+                       to_string(lp2.status), lp2.objective,
+                       lp2.status == LpStatus::Optimal ? work.max_violation(lp2.x) : -1.0);
+          // Dump the model for offline replay.
+          FILE* f = std::fopen("/tmp/fail_lp.txt", "w");
+          std::fprintf(f, "%d %d\n", work.num_vars(), work.num_rows());
+          for (int j = 0; j < work.num_vars(); ++j) {
+            const auto& v = work.variable(j);
+            std::fprintf(f, "v %.17g %.17g %.17g\n", v.lower, v.upper, v.cost);
+          }
+          for (int i = 0; i < work.num_rows(); ++i) {
+            const auto& r = work.row(i);
+            std::fprintf(f, "r %d %.17g %zu", (int)r.sense, r.rhs, r.coefs.size());
+            for (const auto& c : r.coefs) std::fprintf(f, " %d %.17g", c.var, c.value);
+            std::fprintf(f, "\n");
+          }
+          std::fclose(f);
+        }
+        if (lp.objective < incumbent) {
+          incumbent = lp.objective;
+          best_x = lp.x;
+          round_integers(best_x);
+        }
+        continue;
+      }
+
+      // Branch. Explore the "nearest" side first: DFS pops from the back,
+      // so push the preferred child last.
+      const double v = lp.x[static_cast<size_t>(frac)];
+      Node down = node, up = node;
+      down.fixes.emplace_back(frac, base_.variable(frac).lower, std::floor(v));
+      up.fixes.emplace_back(frac, std::ceil(v), base_.variable(frac).upper);
+      down.parent_bound = up.parent_bound = lp.objective;
+      down.depth = up.depth = node.depth + 1;
+      if (v - std::floor(v) <= 0.5) {
+        stack.push_back(std::move(up));
+        stack.push_back(std::move(down));
+      } else {
+        stack.push_back(std::move(down));
+        stack.push_back(std::move(up));
+      }
+    }
+
+    // Compose result.
+    if (best_x.empty()) {
+      res.status = hit_limit ? MilpStatus::NoSolution : MilpStatus::Infeasible;
+      res.best_bound = root_solved ? root_bound : -kInf;
+      return res;
+    }
+    res.objective = incumbent;
+    res.x = std::move(best_x);
+    if (hit_limit || !stack.empty()) {
+      res.status = MilpStatus::Feasible;
+      // Bound: min over open nodes and root.
+      double bound = incumbent;
+      for (const Node& n : stack) bound = std::min(bound, n.parent_bound);
+      if (!root_solved) bound = -kInf;
+      res.best_bound = std::min(bound, incumbent);
+    } else {
+      res.status = MilpStatus::Optimal;
+      res.best_bound = incumbent;
+    }
+    return res;
+  }
+
+ private:
+  /// LP-guided rounding dive: repeatedly pin the most fractional integer
+  /// variable to its nearest integer and re-solve. Either reaches an
+  /// integral feasible point (the initial incumbent) or dead-ends.
+  void dive(double& incumbent, std::vector<double>& best_x, MilpResult& res) {
+    LpModel work = base_;
+    for (std::size_t step = 0; step <= int_vars_.size(); ++step) {
+      const LpResult lp = solve_lp(work, opts_.lp);
+      res.lp_iterations += lp.iterations;
+      if (lp.status != LpStatus::Optimal) return;  // dead end
+      const int frac = pick_branch_var(lp.x);
+      if (frac < 0) {
+        if (std::getenv("OVNES_MILP_DEBUG") && work.max_violation(lp.x) > 1e-5) {
+          std::fprintf(stderr, "MILP DEBUG dive: violates by %g (obj %g)\n",
+                       work.max_violation(lp.x), lp.objective);
+        }
+        if (lp.objective < incumbent) {
+          incumbent = lp.objective;
+          best_x = lp.x;
+          round_integers(best_x);
+        }
+        return;
+      }
+      const double v = std::round(lp.x[static_cast<size_t>(frac)]);
+      work.set_bounds(frac, v, v);
+    }
+  }
+
+  [[nodiscard]] double absolute_gap(double incumbent) const {
+    return opts_.gap_tol * std::max(1.0, std::abs(incumbent));
+  }
+
+  static double elapsed_sec(std::chrono::steady_clock::time_point t0) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+        .count();
+  }
+
+  /// Most fractional variable within the best (lowest) priority class that
+  /// has any fractional member; -1 when integral.
+  [[nodiscard]] int pick_branch_var(const std::vector<double>& x) const {
+    int best = -1;
+    int best_prio = std::numeric_limits<int>::max();
+    double best_frac_dist = 0.0;
+    for (int j : int_vars_) {
+      const double v = x[static_cast<size_t>(j)];
+      const double frac = v - std::floor(v);
+      const double dist = std::min(frac, 1.0 - frac);
+      if (dist <= opts_.int_tol) continue;
+      const int prio = base_.variable(j).branch_priority;
+      if (prio < best_prio || (prio == best_prio && dist > best_frac_dist)) {
+        best_prio = prio;
+        best_frac_dist = dist;
+        best = j;
+      }
+    }
+    return best;
+  }
+
+  void round_integers(std::vector<double>& x) const {
+    for (int j : int_vars_) {
+      x[static_cast<size_t>(j)] = std::round(x[static_cast<size_t>(j)]);
+    }
+  }
+
+  const LpModel& base_;
+  MilpOptions opts_;
+  std::vector<int> int_vars_;
+};
+
+}  // namespace
+
+MilpResult solve_milp(const LpModel& model, const MilpOptions& opts) {
+  return BranchAndBound(model, opts).run();
+}
+
+}  // namespace ovnes::solver

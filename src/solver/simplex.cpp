@@ -1,0 +1,532 @@
+#include "solver/simplex.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace ovnes::solver {
+
+const char* to_string(LpStatus s) {
+  switch (s) {
+    case LpStatus::Optimal: return "optimal";
+    case LpStatus::Infeasible: return "infeasible";
+    case LpStatus::Unbounded: return "unbounded";
+    case LpStatus::IterationLimit: return "iteration_limit";
+  }
+  return "unknown";
+}
+
+namespace {
+
+enum class VarStatus : unsigned char { Basic, AtLower, AtUpper };
+
+/// Internal solver state over the equality system  A x + I s = b  where the
+/// column space is [structural | slacks | artificials].
+class Simplex {
+ public:
+  Simplex(const LpModel& model, const SimplexOptions& opts)
+      : model_(model), opts_(opts),
+        m_(model.num_rows()), n_(model.num_vars()) {
+    build();
+  }
+
+  LpResult run() {
+    LpResult res;
+    if (m_ == 0) return solve_unconstrained();
+
+    // ---- Phase 1: minimize sum of artificials.
+    set_phase1_costs();
+    const LpStatus p1 = iterate(res.iterations);
+    if (p1 == LpStatus::IterationLimit) {
+      res.status = p1;
+      return res;
+    }
+    // Phase-1 objective = sum of artificial values, each normalized by its
+    // own row's magnitude. (A single huge-capacity row — e.g. the 1e7 Mb/s
+    // virtual WAN link — must not inflate the tolerance for other rows.)
+    double infeas = 0.0;
+    for (int i = 0; i < m_; ++i) {
+      const int v = basis_[static_cast<size_t>(i)];
+      if (is_artificial(v)) {
+        const double scale = 1.0 + std::abs(b_[static_cast<size_t>(v - n_ - m_)]);
+        infeas += std::abs(xb_[static_cast<size_t>(i)]) / scale;
+      }
+    }
+    if (debug_) {
+      std::fprintf(stderr, "PHASE1 end: status=%d infeas=%g tol=%g\n", (int)p1,
+                   infeas, opts_.feas_tol);
+    }
+    if (infeas > opts_.feas_tol) {
+      res.status = LpStatus::Infeasible;
+      compute_duals();
+      res.farkas_ray.assign(static_cast<size_t>(m_), 0.0);
+      for (int i = 0; i < m_; ++i) {
+        res.farkas_ray[static_cast<size_t>(i)] = -y_[static_cast<size_t>(i)];
+      }
+      return res;
+    }
+    drive_out_artificials();
+
+    // ---- Phase 2: original costs; artificials frozen at zero.
+    set_phase2_costs();
+    const LpStatus p2 = iterate(res.iterations);
+    if (p2 != LpStatus::Optimal) {
+      res.status = p2;
+      return res;
+    }
+
+    res.status = LpStatus::Optimal;
+    extract_solution(res);
+    return res;
+  }
+
+ private:
+  [[nodiscard]] bool is_artificial(int j) const { return j >= n_ + m_; }
+
+  [[nodiscard]] double lower(int j) const { return lb_[static_cast<size_t>(j)]; }
+  [[nodiscard]] double upper(int j) const { return ub_[static_cast<size_t>(j)]; }
+
+  /// Dense column j of the equality system.
+  void load_column(int j, std::vector<double>& col) const {
+    std::fill(col.begin(), col.end(), 0.0);
+    if (j < n_) {
+      for (const auto& [row, val] : cols_[static_cast<size_t>(j)]) {
+        col[static_cast<size_t>(row)] = val;
+      }
+    } else if (j < n_ + m_) {
+      col[static_cast<size_t>(j - n_)] = 1.0;
+    } else {
+      col[static_cast<size_t>(j - n_ - m_)] = art_sign_[static_cast<size_t>(j - n_ - m_)];
+    }
+  }
+
+  [[nodiscard]] double dot_column(int j, const std::vector<double>& y) const {
+    if (j < n_) {
+      double s = 0.0;
+      for (const auto& [row, val] : cols_[static_cast<size_t>(j)]) {
+        s += y[static_cast<size_t>(row)] * val;
+      }
+      return s;
+    }
+    if (j < n_ + m_) return y[static_cast<size_t>(j - n_)];
+    return y[static_cast<size_t>(j - n_ - m_)] * art_sign_[static_cast<size_t>(j - n_ - m_)];
+  }
+
+  [[nodiscard]] double nonbasic_value(int j) const {
+    return status_[static_cast<size_t>(j)] == VarStatus::AtUpper ? upper(j)
+                                                                 : lower(j);
+  }
+
+  void build() {
+    const int total = n_ + 2 * m_;
+    lb_.resize(static_cast<size_t>(total));
+    ub_.resize(static_cast<size_t>(total));
+    cost_.assign(static_cast<size_t>(total), 0.0);
+    status_.assign(static_cast<size_t>(total), VarStatus::AtLower);
+
+    // Structural columns (sparse by rows) and bounds.
+    cols_.assign(static_cast<size_t>(n_), {});
+    for (int i = 0; i < m_; ++i) {
+      for (const Coef& c : model_.row(i).coefs) {
+        cols_[static_cast<size_t>(c.var)].emplace_back(i, c.value);
+      }
+    }
+    for (int j = 0; j < n_; ++j) {
+      const Variable& v = model_.variable(j);
+      lb_[static_cast<size_t>(j)] = v.lower;
+      ub_[static_cast<size_t>(j)] = v.upper;
+      status_[static_cast<size_t>(j)] =
+          std::isfinite(v.lower) ? VarStatus::AtLower : VarStatus::AtUpper;
+    }
+    // Slack bounds encode row sense.
+    b_.resize(static_cast<size_t>(m_));
+    bnorm_ = 0.0;
+    for (int i = 0; i < m_; ++i) {
+      const Rowdef& r = model_.row(i);
+      b_[static_cast<size_t>(i)] = r.rhs;
+      bnorm_ = std::max(bnorm_, std::abs(r.rhs));
+      const int sj = n_ + i;
+      switch (r.sense) {
+        case RowSense::LessEq:
+          lb_[static_cast<size_t>(sj)] = 0.0;
+          ub_[static_cast<size_t>(sj)] = kInf;
+          status_[static_cast<size_t>(sj)] = VarStatus::AtLower;
+          break;
+        case RowSense::GreaterEq:
+          lb_[static_cast<size_t>(sj)] = -kInf;
+          ub_[static_cast<size_t>(sj)] = 0.0;
+          status_[static_cast<size_t>(sj)] = VarStatus::AtUpper;
+          break;
+        case RowSense::Equal:
+          lb_[static_cast<size_t>(sj)] = 0.0;
+          ub_[static_cast<size_t>(sj)] = 0.0;
+          status_[static_cast<size_t>(sj)] = VarStatus::AtLower;
+          break;
+      }
+    }
+
+    // Residual r = b - (A,I)·x_N with every non-artificial at its bound.
+    std::vector<double> resid = b_;
+    for (int j = 0; j < n_; ++j) {
+      const double xv = nonbasic_value(j);
+      if (xv != 0.0) {
+        for (const auto& [row, val] : cols_[static_cast<size_t>(j)]) {
+          resid[static_cast<size_t>(row)] -= val * xv;
+        }
+      }
+    }
+    for (int i = 0; i < m_; ++i) {
+      resid[static_cast<size_t>(i)] -= nonbasic_value(n_ + i);
+    }
+
+    // Artificial basis: column i is sign(resid_i)·e_i so x_art = |resid| >= 0.
+    art_sign_.resize(static_cast<size_t>(m_));
+    basis_.resize(static_cast<size_t>(m_));
+    xb_.resize(static_cast<size_t>(m_));
+    binv_.assign(static_cast<size_t>(m_) * static_cast<size_t>(m_), 0.0);
+    for (int i = 0; i < m_; ++i) {
+      const double s = resid[static_cast<size_t>(i)] >= 0.0 ? 1.0 : -1.0;
+      art_sign_[static_cast<size_t>(i)] = s;
+      const int aj = n_ + m_ + i;
+      lb_[static_cast<size_t>(aj)] = 0.0;
+      ub_[static_cast<size_t>(aj)] = kInf;
+      basis_[static_cast<size_t>(i)] = aj;
+      status_[static_cast<size_t>(aj)] = VarStatus::Basic;
+      xb_[static_cast<size_t>(i)] = std::abs(resid[static_cast<size_t>(i)]);
+      binv_[static_cast<size_t>(i) * static_cast<size_t>(m_) + static_cast<size_t>(i)] = s;
+    }
+
+    y_.resize(static_cast<size_t>(m_));
+    w_.resize(static_cast<size_t>(m_));
+    colbuf_.resize(static_cast<size_t>(m_));
+  }
+
+  void set_phase1_costs() {
+    std::fill(cost_.begin(), cost_.end(), 0.0);
+    for (int i = 0; i < m_; ++i) cost_[static_cast<size_t>(n_ + m_ + i)] = 1.0;
+    phase1_ = true;
+  }
+
+  void set_phase2_costs() {
+    std::fill(cost_.begin(), cost_.end(), 0.0);
+    for (int j = 0; j < n_; ++j) cost_[static_cast<size_t>(j)] = model_.variable(j).cost;
+    phase1_ = false;
+  }
+
+  void compute_duals() {
+    // y = c_B^T B^{-1}
+    std::fill(y_.begin(), y_.end(), 0.0);
+    for (int k = 0; k < m_; ++k) {
+      const double cb = cost_[static_cast<size_t>(basis_[static_cast<size_t>(k)])];
+      if (cb == 0.0) continue;
+      const double* row = &binv_[static_cast<size_t>(k) * static_cast<size_t>(m_)];
+      for (int i = 0; i < m_; ++i) y_[static_cast<size_t>(i)] += cb * row[i];
+    }
+  }
+
+  /// Recompute x_B = B^{-1}(b - N x_N) from scratch (drift control).
+  void refresh_basics() {
+    std::vector<double> rhs = b_;
+    for (int j = 0; j < n_ + 2 * m_; ++j) {
+      if (status_[static_cast<size_t>(j)] == VarStatus::Basic) continue;
+      const double xv = nonbasic_value(j);
+      if (xv == 0.0) continue;
+      if (j < n_) {
+        for (const auto& [row, val] : cols_[static_cast<size_t>(j)]) {
+          rhs[static_cast<size_t>(row)] -= val * xv;
+        }
+      } else if (j < n_ + m_) {
+        rhs[static_cast<size_t>(j - n_)] -= xv;
+      } else {
+        rhs[static_cast<size_t>(j - n_ - m_)] -=
+            art_sign_[static_cast<size_t>(j - n_ - m_)] * xv;
+      }
+    }
+    for (int i = 0; i < m_; ++i) {
+      const double* row = &binv_[static_cast<size_t>(i) * static_cast<size_t>(m_)];
+      double v = 0.0;
+      for (int k = 0; k < m_; ++k) v += row[k] * rhs[static_cast<size_t>(k)];
+      xb_[static_cast<size_t>(i)] = v;
+    }
+  }
+
+  /// Core pricing/pivot loop with the current cost vector.
+  LpStatus iterate(int& iter_count) {
+    int degenerate_streak = 0;
+    bool bland = false;
+
+    for (int iter = 0; iter < opts_.max_iterations; ++iter, ++iter_count) {
+      compute_duals();
+
+      // --- Pricing.
+      int q = -1;
+      double best_score = opts_.opt_tol;
+      const int total = n_ + 2 * m_;
+      for (int j = 0; j < total; ++j) {
+        const VarStatus st = status_[static_cast<size_t>(j)];
+        if (st == VarStatus::Basic) continue;
+        if (lower(j) == upper(j)) continue;  // fixed
+        if (!phase1_ && is_artificial(j)) continue;
+        const double d = cost_[static_cast<size_t>(j)] - dot_column(j, y_);
+        double score = 0.0;
+        if (st == VarStatus::AtLower && d < -opts_.opt_tol) score = -d;
+        else if (st == VarStatus::AtUpper && d > opts_.opt_tol) score = d;
+        else continue;
+        if (bland) { q = j; break; }           // first eligible index
+        if (score > best_score) { best_score = score; q = j; }
+      }
+      if (q < 0) return LpStatus::Optimal;  // current phase optimal
+
+      const double dir =
+          status_[static_cast<size_t>(q)] == VarStatus::AtLower ? 1.0 : -1.0;
+
+      // --- FTRAN: w = B^{-1} A_q.
+      load_column(q, colbuf_);
+      for (int i = 0; i < m_; ++i) {
+        const double* row = &binv_[static_cast<size_t>(i) * static_cast<size_t>(m_)];
+        double v = 0.0;
+        for (int k = 0; k < m_; ++k) v += row[k] * colbuf_[static_cast<size_t>(k)];
+        w_[static_cast<size_t>(i)] = v;
+      }
+
+      // --- Ratio test.
+      double t_max = kInf;
+      if (std::isfinite(lower(q)) && std::isfinite(upper(q))) {
+        t_max = upper(q) - lower(q);  // bound flip distance
+      }
+      int leave = -1;
+      VarStatus leave_to = VarStatus::AtLower;
+      for (int i = 0; i < m_; ++i) {
+        const double wd = dir * w_[static_cast<size_t>(i)];
+        const int bv = basis_[static_cast<size_t>(i)];
+        if (wd > opts_.pivot_tol) {  // basic decreases toward its lower bound
+          if (std::isfinite(lower(bv))) {
+            const double t = (xb_[static_cast<size_t>(i)] - lower(bv)) / wd;
+            if (t < t_max - 1e-12 ||
+                (t < t_max + 1e-12 && leave >= 0 &&
+                 std::abs(w_[static_cast<size_t>(i)]) >
+                     std::abs(w_[static_cast<size_t>(leave)]))) {
+              t_max = std::max(t, 0.0);
+              leave = i;
+              leave_to = VarStatus::AtLower;
+            }
+          }
+        } else if (wd < -opts_.pivot_tol) {  // basic increases toward upper
+          if (std::isfinite(upper(bv))) {
+            const double t = (upper(bv) - xb_[static_cast<size_t>(i)]) / (-wd);
+            if (t < t_max - 1e-12 ||
+                (t < t_max + 1e-12 && leave >= 0 &&
+                 std::abs(w_[static_cast<size_t>(i)]) >
+                     std::abs(w_[static_cast<size_t>(leave)]))) {
+              t_max = std::max(t, 0.0);
+              leave = i;
+              leave_to = VarStatus::AtUpper;
+            }
+          }
+        }
+      }
+      if (!std::isfinite(t_max)) return LpStatus::Unbounded;
+
+      // Anti-cycling bookkeeping.
+      if (t_max <= opts_.feas_tol) {
+        if (++degenerate_streak > 2 * (m_ + 1)) bland = true;
+      } else {
+        degenerate_streak = 0;
+        bland = false;
+      }
+
+      // --- Apply step.
+      for (int i = 0; i < m_; ++i) {
+        xb_[static_cast<size_t>(i)] -= dir * t_max * w_[static_cast<size_t>(i)];
+      }
+      const double xq_new = nonbasic_value(q) + dir * t_max;
+
+      if (leave < 0) {
+        // Bound flip, basis unchanged.
+        status_[static_cast<size_t>(q)] =
+            status_[static_cast<size_t>(q)] == VarStatus::AtLower
+                ? VarStatus::AtUpper
+                : VarStatus::AtLower;
+        continue;
+      }
+
+      // --- Pivot: update B^{-1} with w (Gauss-Jordan on the leaving row).
+      const double piv = w_[static_cast<size_t>(leave)];
+      if (std::abs(piv) < opts_.pivot_tol) return LpStatus::IterationLimit;
+      double* lrow = &binv_[static_cast<size_t>(leave) * static_cast<size_t>(m_)];
+      for (int k = 0; k < m_; ++k) lrow[k] /= piv;
+      for (int i = 0; i < m_; ++i) {
+        if (i == leave) continue;
+        const double f = w_[static_cast<size_t>(i)];
+        if (f == 0.0) continue;
+        double* irow = &binv_[static_cast<size_t>(i) * static_cast<size_t>(m_)];
+        for (int k = 0; k < m_; ++k) irow[k] -= f * lrow[k];
+      }
+
+      const int leaving_var = basis_[static_cast<size_t>(leave)];
+      status_[static_cast<size_t>(leaving_var)] = leave_to;
+      basis_[static_cast<size_t>(leave)] = q;
+      status_[static_cast<size_t>(q)] = VarStatus::Basic;
+      xb_[static_cast<size_t>(leave)] = xq_new;
+
+      if (debug_) {
+        std::vector<double> saved = xb_;
+        refresh_basics();
+        double dmax = 0.0;
+        for (int i = 0; i < m_; ++i) dmax = std::max(dmax, std::abs(saved[static_cast<size_t>(i)] - xb_[static_cast<size_t>(i)]));
+        if (dmax > 1e-6) {
+          std::fprintf(stderr, "SIMPLEX DEBUG iter=%d drift=%g q=%d leave=%d t=%g\n",
+                       iter, dmax, q, leave, t_max);
+        }
+        // feasibility of basics
+        for (int i = 0; i < m_; ++i) {
+          const int bv = basis_[static_cast<size_t>(i)];
+          if (xb_[static_cast<size_t>(i)] < lower(bv) - 1e-6 || xb_[static_cast<size_t>(i)] > upper(bv) + 1e-6) {
+            std::fprintf(stderr, "SIMPLEX DEBUG iter=%d basic %d out of bounds: %g not in [%g,%g] (phase1=%d)\n",
+                         iter, bv, xb_[static_cast<size_t>(i)], lower(bv), upper(bv), (int)phase1_);
+          }
+        }
+      } else if ((iter + 1) % opts_.refresh_interval == 0) {
+        refresh_basics();
+      }
+    }
+    return LpStatus::IterationLimit;
+  }
+
+  /// After a successful phase 1, pivot zero-valued artificials out of the
+  /// basis where possible and freeze all artificials at zero.
+  void drive_out_artificials() {
+    for (int i = 0; i < m_; ++i) {
+      const int bv = basis_[static_cast<size_t>(i)];
+      if (!is_artificial(bv)) continue;
+      // Find a replacement column with a usable pivot in row i.
+      int pick = -1;
+      double pick_mag = 1e-7;  // require a well-conditioned pivot
+      for (int j = 0; j < n_ + m_; ++j) {
+        if (status_[static_cast<size_t>(j)] == VarStatus::Basic) continue;
+        load_column(j, colbuf_);
+        const double* row = &binv_[static_cast<size_t>(i) * static_cast<size_t>(m_)];
+        double wij = 0.0;
+        for (int k = 0; k < m_; ++k) wij += row[k] * colbuf_[static_cast<size_t>(k)];
+        if (std::abs(wij) > pick_mag) {
+          pick_mag = std::abs(wij);
+          pick = j;
+          if (pick_mag > 0.1) break;  // good enough pivot
+        }
+      }
+      if (pick >= 0) {
+        // Degenerate pivot: artificial leaves at value 0.
+        load_column(pick, colbuf_);
+        for (int r = 0; r < m_; ++r) {
+          const double* row = &binv_[static_cast<size_t>(r) * static_cast<size_t>(m_)];
+          double v = 0.0;
+          for (int k = 0; k < m_; ++k) v += row[k] * colbuf_[static_cast<size_t>(k)];
+          w_[static_cast<size_t>(r)] = v;
+        }
+        const double piv = w_[static_cast<size_t>(i)];
+        double* lrow = &binv_[static_cast<size_t>(i) * static_cast<size_t>(m_)];
+        for (int k = 0; k < m_; ++k) lrow[k] /= piv;
+        for (int r = 0; r < m_; ++r) {
+          if (r == i) continue;
+          const double f = w_[static_cast<size_t>(r)];
+          if (f == 0.0) continue;
+          double* rrow = &binv_[static_cast<size_t>(r) * static_cast<size_t>(m_)];
+          for (int k = 0; k < m_; ++k) rrow[k] -= f * lrow[k];
+        }
+        status_[static_cast<size_t>(bv)] = VarStatus::AtLower;
+        basis_[static_cast<size_t>(i)] = pick;
+        status_[static_cast<size_t>(pick)] = VarStatus::Basic;
+        const double keep = xb_[static_cast<size_t>(i)];
+        if (debug_) {
+          std::fprintf(stderr, "DRIVEOUT row=%d art=%d pick=%d piv=%g keep=%g t=%g\n",
+                       i, bv, pick, piv, keep, keep / piv);
+        }
+        // The artificial leaves at value `keep` (≈ 0 after a successful
+        // phase 1); the entering variable moves by keep/piv off its bound.
+        xb_[static_cast<size_t>(i)] = nonbasic_value(pick) + keep / piv;
+      }
+    }
+    // Freeze artificials.
+    for (int i = 0; i < m_; ++i) {
+      const int aj = n_ + m_ + i;
+      lb_[static_cast<size_t>(aj)] = 0.0;
+      ub_[static_cast<size_t>(aj)] = 0.0;
+    }
+    refresh_basics();
+  }
+
+  void extract_solution(LpResult& res) {
+    compute_duals();
+    res.x.assign(static_cast<size_t>(n_), 0.0);
+    for (int j = 0; j < n_; ++j) {
+      if (status_[static_cast<size_t>(j)] != VarStatus::Basic) {
+        res.x[static_cast<size_t>(j)] = nonbasic_value(j);
+      }
+    }
+    for (int i = 0; i < m_; ++i) {
+      const int bv = basis_[static_cast<size_t>(i)];
+      if (bv < n_) res.x[static_cast<size_t>(bv)] = xb_[static_cast<size_t>(i)];
+    }
+    // Clamp round-off.
+    for (int j = 0; j < n_; ++j) {
+      double& v = res.x[static_cast<size_t>(j)];
+      v = std::clamp(v, lower(j), upper(j));
+    }
+    res.objective = model_.objective_value(res.x);
+    res.row_duals.assign(y_.begin(), y_.end());
+    res.reduced_costs.assign(static_cast<size_t>(n_), 0.0);
+    for (int j = 0; j < n_; ++j) {
+      res.reduced_costs[static_cast<size_t>(j)] =
+          cost_[static_cast<size_t>(j)] - dot_column(j, y_);
+    }
+  }
+
+  LpResult solve_unconstrained() {
+    LpResult res;
+    res.x.assign(static_cast<size_t>(n_), 0.0);
+    for (int j = 0; j < n_; ++j) {
+      const Variable& v = model_.variable(j);
+      if (v.cost > 0.0) {
+        if (!std::isfinite(v.lower)) { res.status = LpStatus::Unbounded; return res; }
+        res.x[static_cast<size_t>(j)] = v.lower;
+      } else if (v.cost < 0.0) {
+        if (!std::isfinite(v.upper)) { res.status = LpStatus::Unbounded; return res; }
+        res.x[static_cast<size_t>(j)] = v.upper;
+      } else {
+        res.x[static_cast<size_t>(j)] =
+            std::isfinite(v.lower) ? v.lower : v.upper;
+      }
+    }
+    res.status = LpStatus::Optimal;
+    res.objective = model_.objective_value(res.x);
+    return res;
+  }
+
+  const LpModel& model_;
+  SimplexOptions opts_;
+  bool debug_ = std::getenv("OVNES_SIMPLEX_DEBUG") != nullptr;
+  int m_, n_;
+  bool phase1_ = true;
+
+  std::vector<std::vector<std::pair<int, double>>> cols_;  ///< structural cols
+  std::vector<double> b_;
+  double bnorm_ = 0.0;
+  std::vector<double> lb_, ub_, cost_;
+  std::vector<VarStatus> status_;
+  std::vector<double> art_sign_;
+  std::vector<int> basis_;
+  std::vector<double> xb_;
+  std::vector<double> binv_;  ///< m×m row-major
+  std::vector<double> y_, w_, colbuf_;
+};
+
+}  // namespace
+
+LpResult solve_lp(const LpModel& model, const SimplexOptions& opts) {
+  return Simplex(model, opts).run();
+}
+
+}  // namespace ovnes::solver

@@ -1,0 +1,54 @@
+// Two-phase primal simplex for bounded-variable linear programs.
+//
+// Implements the classic revised simplex with an explicit dense basis
+// inverse, upper-bounding technique (bound flips instead of rows for box
+// constraints), artificial-variable phase 1, Dantzig pricing with a Bland
+// fallback for anti-cycling, and periodic recomputation of the basic
+// solution to bound numerical drift.
+//
+// The solver reports, at optimality, the row duals y_i = ∂obj/∂rhs_i and
+// variable reduced costs — both required to assemble Benders cuts (§4.1) —
+// and, on infeasibility, a Farkas certificate usable as the "extreme ray"
+// of the dual slave problem (Algorithm 1 line 7, Algorithm 3 line 5).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "solver/lp_model.hpp"
+
+namespace ovnes::solver {
+
+enum class LpStatus { Optimal, Infeasible, Unbounded, IterationLimit };
+
+[[nodiscard]] const char* to_string(LpStatus s);
+
+struct LpResult {
+  LpStatus status = LpStatus::IterationLimit;
+  double objective = 0.0;
+  std::vector<double> x;             ///< structural variable values
+  std::vector<double> row_duals;     ///< y_i = ∂obj/∂rhs_i (min problem:
+                                     ///< y <= 0 for binding <=, y >= 0 for >=)
+  std::vector<double> reduced_costs; ///< d_j = c_j - y·A_j
+  /// When status == Infeasible: vector `r` (one entry per row) such that the
+  /// aggregated constraint Σ_i r_i·(row_i) is violated by every point in the
+  /// box [lb, ub]. Sign convention: r_i >= 0 for <= rows, r_i <= 0 for >=
+  /// rows, free for == rows.
+  std::vector<double> farkas_ray;
+  int iterations = 0;
+};
+
+struct SimplexOptions {
+  int max_iterations = 50000;
+  double feas_tol = 1e-7;    ///< primal feasibility tolerance
+  double opt_tol = 1e-7;     ///< dual (reduced-cost) tolerance
+  double pivot_tol = 1e-9;   ///< minimum pivot magnitude
+  int refresh_interval = 64; ///< recompute x_B from scratch every N pivots
+};
+
+/// Solve `model` (ignoring integrality markers). Thread-compatible: no
+/// shared state; safe to call from multiple threads on distinct models.
+[[nodiscard]] LpResult solve_lp(const LpModel& model,
+                                const SimplexOptions& opts = {});
+
+}  // namespace ovnes::solver

@@ -1,0 +1,273 @@
+#include "topo/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace ovnes::topo {
+
+namespace {
+
+/// Knobs of the shared two-tier builder (BSs -> switch fabric -> CUs).
+struct OperatorProfile {
+  std::size_t published_bs = 198;
+  double switch_per_bs = 0.25;     ///< aggregation switches per BS
+  int bs_homing_min = 1;           ///< BS attaches to [min,max] nearest switches
+  int bs_homing_max = 1;
+  double chord_fraction = 0.0;     ///< extra random switch-switch chords
+  bool tree_fabric = false;        ///< chain/tree fabric (low path diversity)
+  std::size_t edge_attach_max = 0; ///< cap on edge-CU multihoming (0 = auto)
+  double max_bs_radius_km = 10.0;  ///< farthest BS from the (central) edge CU
+  Prbs bs_prbs_min = 100.0;        ///< C_b (100 PRBs = 20 MHz)
+  Prbs bs_prbs_max = 100.0;
+  // Technology mix: probabilities for access (BS-switch) links.
+  double p_fiber = 1.0, p_copper = 0.0;  // remainder: wireless
+  bool wireless_fabric = false;    ///< switch fabric links are wireless too
+  // Capacity ranges in Mb/s (2-200 Gb/s across networks, Fig. 4d).
+  Mbps fiber_cap_min = 10000, fiber_cap_max = 200000;
+  Mbps copper_cap_min = 2000, copper_cap_max = 10000;
+  Mbps wireless_cap_min = 500, wireless_cap_max = 4000;
+};
+
+LinkTech sample_tech(ovnes::RngStream& rng, const OperatorProfile& p) {
+  const double u = rng.uniform();
+  if (u < p.p_fiber) return LinkTech::Fiber;
+  if (u < p.p_fiber + p.p_copper) return LinkTech::Copper;
+  return LinkTech::Wireless;
+}
+
+Mbps sample_capacity(ovnes::RngStream& rng, const OperatorProfile& p,
+                     LinkTech tech) {
+  switch (tech) {
+    case LinkTech::Fiber: return rng.uniform(p.fiber_cap_min, p.fiber_cap_max);
+    case LinkTech::Copper: return rng.uniform(p.copper_cap_min, p.copper_cap_max);
+    case LinkTech::Wireless:
+      return rng.uniform(p.wireless_cap_min, p.wireless_cap_max);
+    case LinkTech::Virtual: return 1e7;
+  }
+  return 1000.0;
+}
+
+Topology build_operator(const std::string& name, const OperatorProfile& prof,
+                        const GeneratorConfig& cfg) {
+  if (cfg.scale <= 0.0 || cfg.scale > 1.0) {
+    throw std::invalid_argument("GeneratorConfig::scale must be in (0, 1]");
+  }
+  ovnes::RngStream rng(cfg.seed);
+  ovnes::RngStream layout = rng.derive("layout");
+  ovnes::RngStream tech_rng = rng.derive("tech");
+
+  Topology topo;
+  topo.name = name;
+
+  const auto num_bs = static_cast<std::size_t>(std::max(
+      4.0, std::round(static_cast<double>(prof.published_bs) * cfg.scale)));
+  const auto num_switch = static_cast<std::size_t>(
+      std::max(3.0, std::round(static_cast<double>(num_bs) * prof.switch_per_bs)));
+
+  // --- Switch fabric: ring around the city centre plus random chords.
+  std::vector<NodeId> switches;
+  switches.reserve(num_switch);
+  const double ring_radius = prof.max_bs_radius_km * 0.35;
+  for (std::size_t i = 0; i < num_switch; ++i) {
+    const double ang =
+        2.0 * std::numbers::pi * static_cast<double>(i) / static_cast<double>(num_switch);
+    switches.push_back(topo.graph.add_node(NodeKind::Switch,
+                                           ring_radius * std::cos(ang),
+                                           ring_radius * std::sin(ang),
+                                           "sw" + std::to_string(i)));
+  }
+  const auto fabric_tech = [&](ovnes::RngStream& r) {
+    return prof.wireless_fabric ? LinkTech::Wireless : sample_tech(r, prof);
+  };
+  // Ring fabric (two directions around the city) or chain/tree fabric
+  // (single trunk, low path diversity — the N3 "Italian" shape).
+  const std::size_t trunk_links = prof.tree_fabric ? num_switch - 1 : num_switch;
+  for (std::size_t i = 0; i < trunk_links; ++i) {
+    const LinkTech t = fabric_tech(tech_rng);
+    topo.graph.add_link(switches[i], switches[(i + 1) % num_switch],
+                        sample_capacity(tech_rng, prof, t), t);
+  }
+  const auto num_chords = static_cast<std::size_t>(
+      std::round(prof.chord_fraction * static_cast<double>(num_switch)));
+  for (std::size_t i = 0; i < num_chords; ++i) {
+    const auto a = static_cast<std::size_t>(
+        layout.uniform_int(0, static_cast<std::int64_t>(num_switch) - 1));
+    const auto b = static_cast<std::size_t>(
+        layout.uniform_int(0, static_cast<std::int64_t>(num_switch) - 1));
+    if (a == b || (a + 1) % num_switch == b || (b + 1) % num_switch == a) continue;
+    const LinkTech t = fabric_tech(tech_rng);
+    topo.graph.add_link(switches[a], switches[b],
+                        sample_capacity(tech_rng, prof, t), t);
+  }
+
+  // --- Edge CU at the most central position (paper: green dot), multihomed
+  // to a third of the fabric for path diversity.
+  const NodeId edge_node =
+      topo.graph.add_node(NodeKind::ComputeUnit, 0.0, 0.0, "edge-cu");
+  std::size_t edge_attach = std::max<std::size_t>(2, num_switch / 3);
+  if (prof.edge_attach_max > 0) {
+    edge_attach = std::min(edge_attach, prof.edge_attach_max);
+  }
+  for (std::size_t i = 0; i < edge_attach; ++i) {
+    const std::size_t s = (i * num_switch) / edge_attach;
+    const LinkTech t = prof.wireless_fabric ? LinkTech::Wireless : LinkTech::Fiber;
+    topo.graph.add_link(edge_node, switches[s],
+                        sample_capacity(tech_rng, prof, t), t);
+  }
+
+  // --- Core CU behind an unlimited-bandwidth 20 ms link (§4.3.1).
+  const NodeId core_node =
+      topo.graph.add_node(NodeKind::ComputeUnit, 0.0, 0.0, "core-cu");
+  topo.graph.add_link(edge_node, core_node, /*capacity=*/1e7, LinkTech::Virtual,
+                      /*length=*/0.0, /*overhead=*/1.0,
+                      /*extra_delay=*/20000.0);
+
+  // --- Base stations scattered in an annulus, attached to nearest switches.
+  for (std::size_t i = 0; i < num_bs; ++i) {
+    const double ang = layout.uniform(0.0, 2.0 * std::numbers::pi);
+    // sqrt for uniform areal density; min 0.1 km (paper: closest BS ~0.1 km).
+    const double rad = 0.1 + (prof.max_bs_radius_km - 0.1) *
+                                 std::sqrt(layout.uniform());
+    const NodeId bs_node = topo.graph.add_node(NodeKind::BaseStation,
+                                               rad * std::cos(ang),
+                                               rad * std::sin(ang),
+                                               "bs" + std::to_string(i));
+    // Sort switches by distance; attach to the h nearest.
+    std::vector<std::size_t> order(num_switch);
+    for (std::size_t s = 0; s < num_switch; ++s) order[s] = s;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return topo.graph.distance(bs_node, switches[a]) <
+             topo.graph.distance(bs_node, switches[b]);
+    });
+    const auto homing = static_cast<std::size_t>(
+        layout.uniform_int(prof.bs_homing_min, prof.bs_homing_max));
+    for (std::size_t h = 0; h < std::min(homing, num_switch); ++h) {
+      const LinkTech t = sample_tech(tech_rng, prof);
+      topo.graph.add_link(bs_node, switches[order[h]],
+                          sample_capacity(tech_rng, prof, t), t);
+    }
+    topo.add_bs(bs_node,
+                layout.uniform(prof.bs_prbs_min, prof.bs_prbs_max),
+                kMbpsPerPrbIdeal, "bs" + std::to_string(i));
+  }
+
+  // --- Compute sizing rule (§4.3.1): edge = 20·N cores (one mMTC tenant at
+  // max load), core = 5×.
+  const double n = static_cast<double>(num_bs);
+  topo.add_cu(edge_node, 20.0 * n, /*is_edge=*/true, "edge");
+  topo.add_cu(core_node, 100.0 * n, /*is_edge=*/false, "core");
+  return topo;
+}
+
+}  // namespace
+
+Topology make_romanian(const GeneratorConfig& cfg) {
+  OperatorProfile p;
+  p.published_bs = 198;
+  p.bs_homing_min = 2;
+  p.bs_homing_max = 3;       // multihoming -> mean ≈ 6.6 paths per BS (Fig. 4)
+  p.chord_fraction = 0.5;
+  p.p_fiber = 0.45;
+  p.p_copper = 0.30;         // fiber + copper + wireless mix
+  p.max_bs_radius_km = 10.0;
+  return build_operator("romanian", p, cfg);
+}
+
+Topology make_swiss(const GeneratorConfig& cfg) {
+  OperatorProfile p;
+  p.published_bs = 197;
+  p.bs_homing_min = 1;
+  p.bs_homing_max = 2;
+  p.chord_fraction = 0.2;
+  p.edge_attach_max = 3;
+  p.p_fiber = 0.0;
+  p.p_copper = 0.0;          // wireless backhaul
+  p.wireless_fabric = true;
+  p.wireless_cap_min = 500;  // low-capacity constrained transport
+  p.wireless_cap_max = 4000;
+  p.max_bs_radius_km = 8.0;
+  return build_operator("swiss", p, cfg);
+}
+
+Topology make_italian(const GeneratorConfig& cfg) {
+  OperatorProfile p;
+  p.published_bs = 200;      // 1497 radio units clustered into 200 BSs
+  p.bs_homing_min = 1;
+  p.bs_homing_max = 1;       // single-homing -> mean ≈ 1.6 paths per BS
+  p.tree_fabric = true;      // trunk topology: several BSs have 1 path only
+  p.edge_attach_max = 1;
+  p.chord_fraction = 0.1;
+  p.p_fiber = 1.0;           // mainly fiber
+  p.fiber_cap_min = 20000;
+  p.fiber_cap_max = 200000;  // more radio AND transport capacity
+  p.bs_prbs_min = 400.0;     // 80-100 MHz aggregated clusters
+  p.bs_prbs_max = 500.0;
+  p.max_bs_radius_km = 20.0; // BSs as far as 20 km from the edge CU
+  return build_operator("italian", p, cfg);
+}
+
+Topology make_testbed() {
+  Topology topo;
+  topo.name = "testbed";
+  const NodeId bs0 = topo.graph.add_node(NodeKind::BaseStation, -0.1, 0.0, "bs0");
+  const NodeId bs1 = topo.graph.add_node(NodeKind::BaseStation, 0.1, 0.0, "bs1");
+  const NodeId sw = topo.graph.add_node(NodeKind::Switch, 0.0, 0.0, "pflow");
+  const NodeId edge = topo.graph.add_node(NodeKind::ComputeUnit, 0.0, 0.1, "edge");
+  const NodeId core = topo.graph.add_node(NodeKind::ComputeUnit, 0.0, 5.0, "core");
+  // 1 Gb/s Ethernet everywhere (Table 2); the core link gets the netem 30 ms.
+  topo.graph.add_link(bs0, sw, 1000.0, LinkTech::Copper, 0.1);
+  topo.graph.add_link(bs1, sw, 1000.0, LinkTech::Copper, 0.1);
+  topo.graph.add_link(sw, edge, 1000.0, LinkTech::Copper, 0.1);
+  // The paper emulates "30 ms" with netem on this link, yet its Fig. 8(d)
+  // places mMTC slices (∆ = 30 ms) on the core CU — so the effective path
+  // delay must satisfy the budget. With our strict store-and-forward
+  // accounting we emulate 29 ms so that 29 ms + transport < 30 ms, which
+  // preserves the published placement behaviour (see DESIGN.md).
+  topo.graph.add_link(sw, core, 1000.0, LinkTech::Copper, 0.1, 1.0,
+                      /*extra_delay=*/29000.0);
+  // 2x NEC small cells, 20 MHz (100 PRBs).
+  topo.add_bs(bs0, 100.0, kMbpsPerPrbIdeal, "bs0");
+  topo.add_bs(bs1, 100.0, kMbpsPerPrbIdeal, "bs1");
+  // OpenStack servers: 16-core edge, 64-core core (Table 2).
+  topo.add_cu(edge, 16.0, true, "edge");
+  topo.add_cu(core, 64.0, false, "core");
+  return topo;
+}
+
+Topology make_mini(std::size_t num_bs, Cores edge_cores, Cores core_cores,
+                   Micros core_delay_us, Mbps link_capacity) {
+  Topology topo;
+  topo.name = "mini";
+  const NodeId sw = topo.graph.add_node(NodeKind::Switch, 0.0, 0.0, "sw");
+  for (std::size_t i = 0; i < num_bs; ++i) {
+    const NodeId n = topo.graph.add_node(NodeKind::BaseStation,
+                                         0.5 * (1.0 + static_cast<double>(i)),
+                                         0.0, "bs" + std::to_string(i));
+    topo.graph.add_link(n, sw, link_capacity, LinkTech::Fiber);
+    topo.add_bs(n, 100.0, kMbpsPerPrbIdeal, "bs" + std::to_string(i));
+  }
+  const NodeId edge = topo.graph.add_node(NodeKind::ComputeUnit, 0.0, 0.5, "edge");
+  topo.graph.add_link(edge, sw, link_capacity, LinkTech::Fiber);
+  topo.add_cu(edge, edge_cores, true, "edge");
+  if (core_cores > 0.0) {
+    const NodeId core = topo.graph.add_node(NodeKind::ComputeUnit, 0.0, 5.0, "core");
+    topo.graph.add_link(core, sw, 1e7, LinkTech::Virtual, 0.0, 1.0, core_delay_us);
+    topo.add_cu(core, core_cores, false, "core");
+  }
+  return topo;
+}
+
+Topology make_operator(const std::string& name, const GeneratorConfig& cfg) {
+  if (name == "romanian") return make_romanian(cfg);
+  if (name == "swiss") return make_swiss(cfg);
+  if (name == "italian") return make_italian(cfg);
+  if (name == "testbed") return make_testbed();
+  throw std::invalid_argument("unknown operator topology: " + name);
+}
+
+}  // namespace ovnes::topo

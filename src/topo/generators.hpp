@@ -1,0 +1,53 @@
+// Statistical re-synthesis of the evaluation infrastructures (§4.3.1).
+//
+// The paper uses confidential urban topologies from three European operators
+// (Romania/N1, Switzerland/N2, Italy/N3). We rebuild them from their
+// *published statistics* — BS counts, path redundancy (mean 6.6 paths for
+// N1 vs 1.6 for N3), link technology mixes (N1 fiber+copper+wireless,
+// N2 wireless, N3 fiber), capacity range 2–200 Gb/s, BS–CU distances up to
+// 20 km, per-BS radio capacity (20 MHz for N1/N2; 80–100 MHz clusters for
+// N3), and the compute sizing rule (edge CU = 20·N cores, core CU = 5×,
+// connected by an unlimited 20 ms link). `bench_fig4` regenerates the
+// capacity/delay CDFs of Fig. 4(d)-(e) from these generators.
+//
+// `scale` shrinks the BS count (the published sizes are ≈200 BSs) while
+// preserving all distributional properties, so that the exact optimization
+// algorithms remain tractable without CPLEX — see DESIGN.md "Deliberate
+// modelling choices".
+#pragma once
+
+#include <cstdint>
+
+#include "topo/topology.hpp"
+
+namespace ovnes::topo {
+
+struct GeneratorConfig {
+  double scale = 0.06;     ///< fraction of the published BS count (198-200)
+  std::uint64_t seed = 1;  ///< RNG seed for layout + technology sampling
+};
+
+/// N1 "Romanian": high path redundancy, mixed fiber/copper/wireless.
+[[nodiscard]] Topology make_romanian(const GeneratorConfig& cfg = {});
+/// N2 "Swiss": wireless, low-capacity backhaul; same radio/compute as N1.
+[[nodiscard]] Topology make_swiss(const GeneratorConfig& cfg = {});
+/// N3 "Italian": clustered 80-100 MHz radio sites, fiber, low redundancy.
+[[nodiscard]] Topology make_italian(const GeneratorConfig& cfg = {});
+
+/// The Fig. 7 proof-of-concept testbed: 2 BSs (100 PRBs), an OpenFlow
+/// switch with 1 Gb/s links, a 16-core edge CU, and a 64-core core CU
+/// behind an emulated 30 ms link (Table 2).
+[[nodiscard]] Topology make_testbed();
+
+/// Minimal topology for unit tests: `num_bs` BSs attached to one switch,
+/// one edge CU; optional core CU behind a `core_delay_us` link.
+[[nodiscard]] Topology make_mini(std::size_t num_bs, Cores edge_cores,
+                                 Cores core_cores = 0.0,
+                                 Micros core_delay_us = 20000.0,
+                                 Mbps link_capacity = 1000.0);
+
+/// Lookup by the names used in the figures: "romanian", "swiss", "italian".
+[[nodiscard]] Topology make_operator(const std::string& name,
+                                     const GeneratorConfig& cfg = {});
+
+}  // namespace ovnes::topo

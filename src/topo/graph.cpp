@@ -1,0 +1,64 @@
+#include "topo/graph.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace ovnes::topo {
+
+const char* to_string(NodeKind k) {
+  switch (k) {
+    case NodeKind::BaseStation: return "bs";
+    case NodeKind::Switch: return "switch";
+    case NodeKind::ComputeUnit: return "cu";
+  }
+  return "?";
+}
+
+const char* to_string(LinkTech t) {
+  switch (t) {
+    case LinkTech::Fiber: return "fiber";
+    case LinkTech::Copper: return "copper";
+    case LinkTech::Wireless: return "wireless";
+    case LinkTech::Virtual: return "virtual";
+  }
+  return "?";
+}
+
+NodeId Graph::add_node(NodeKind kind, Km x, Km y, std::string name) {
+  nodes_.push_back(Node{kind, x, y, std::move(name)});
+  adj_.emplace_back();
+  return NodeId(static_cast<std::uint32_t>(nodes_.size() - 1));
+}
+
+LinkId Graph::add_link(NodeId a, NodeId b, Mbps capacity, LinkTech tech,
+                       Km length, double overhead, Micros extra_delay) {
+  if (a.index() >= nodes_.size() || b.index() >= nodes_.size()) {
+    throw std::out_of_range("Graph::add_link: unknown endpoint");
+  }
+  if (a == b) throw std::invalid_argument("Graph::add_link: self loop");
+  if (capacity <= 0.0) throw std::invalid_argument("Graph::add_link: capacity");
+  if (length < 0.0) length = distance(a, b);
+  links_.push_back(Link{a, b, capacity, tech, length, overhead, extra_delay});
+  const LinkId id(static_cast<std::uint32_t>(links_.size() - 1));
+  adj_[a.index()].push_back({id, b});
+  adj_[b.index()].push_back({id, a});
+  return id;
+}
+
+Micros Graph::link_delay_us(LinkId id) const {
+  const Link& l = link(id);
+  const double per_km =
+      l.tech == LinkTech::Wireless ? kWirelessUsPerKm : kCableUsPerKm;
+  return kPacketBits / l.capacity + per_km * l.length + kPerHopProcessingUs +
+         l.extra_delay;
+}
+
+Km Graph::distance(NodeId a, NodeId b) const {
+  const Node& na = node(a);
+  const Node& nb = node(b);
+  const double dx = na.x - nb.x;
+  const double dy = na.y - nb.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace ovnes::topo

@@ -1,0 +1,81 @@
+// Undirected transport-network graph (§2.1: BSs, switches and CUs connected
+// by network links e ∈ E).
+#pragma once
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/units.hpp"
+
+namespace ovnes::topo {
+
+enum class NodeKind { BaseStation, Switch, ComputeUnit };
+
+enum class LinkTech {
+  Fiber,     // 4 µs/km propagation
+  Copper,    // 4 µs/km
+  Wireless,  // 5 µs/km
+  Virtual,   // emulated long-haul link with an explicit extra delay
+};
+
+[[nodiscard]] const char* to_string(NodeKind k);
+[[nodiscard]] const char* to_string(LinkTech t);
+
+struct Node {
+  NodeKind kind = NodeKind::Switch;
+  Km x = 0.0;  ///< planar coordinates, km
+  Km y = 0.0;
+  std::string name;
+};
+
+struct Link {
+  NodeId a;
+  NodeId b;
+  Mbps capacity = 0.0;       ///< C_e, transport capacity in Mb/s
+  LinkTech tech = LinkTech::Fiber;
+  Km length = 0.0;
+  double overhead = 1.0;     ///< η_e transport protocol overhead (Eq. 3)
+  Micros extra_delay = 0.0;  ///< additional fixed delay (e.g. emulated WAN)
+};
+
+/// Adjacency entry: a link and the neighbor it reaches.
+struct Adjacency {
+  LinkId link;
+  NodeId neighbor;
+};
+
+class Graph {
+ public:
+  NodeId add_node(NodeKind kind, Km x = 0.0, Km y = 0.0, std::string name = "");
+  /// Adds an undirected link; when `length < 0` it is derived from the node
+  /// coordinates (Euclidean distance).
+  LinkId add_link(NodeId a, NodeId b, Mbps capacity, LinkTech tech,
+                  Km length = -1.0, double overhead = 1.0,
+                  Micros extra_delay = 0.0);
+
+  [[nodiscard]] std::size_t num_nodes() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t num_links() const { return links_.size(); }
+  [[nodiscard]] const Node& node(NodeId id) const { return nodes_[id.index()]; }
+  [[nodiscard]] const Link& link(LinkId id) const { return links_[id.index()]; }
+  [[nodiscard]] const std::vector<Link>& links() const { return links_; }
+  [[nodiscard]] const std::vector<Node>& nodes() const { return nodes_; }
+  [[nodiscard]] const std::vector<Adjacency>& adjacency(NodeId id) const {
+    return adj_[id.index()];
+  }
+
+  /// Store-and-forward one-hop delay of §4.3.1 footnote 11: transmission
+  /// (12000 bits / C_e) + propagation (4-5 µs/km by technology) + 5 µs
+  /// processing (+ any emulated extra delay).
+  [[nodiscard]] Micros link_delay_us(LinkId id) const;
+
+  [[nodiscard]] Km distance(NodeId a, NodeId b) const;
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<Link> links_;
+  std::vector<std::vector<Adjacency>> adj_;
+};
+
+}  // namespace ovnes::topo

@@ -1,0 +1,141 @@
+#include "topo/paths.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace ovnes::topo {
+
+namespace {
+
+NodePath assemble(const Graph& g, const std::vector<NodeId>& nodes,
+                  const std::vector<LinkId>& links) {
+  NodePath p;
+  p.nodes = nodes;
+  p.links = links;
+  p.delay = 0.0;
+  p.bottleneck = std::numeric_limits<double>::infinity();
+  for (LinkId l : links) {
+    p.delay += g.link_delay_us(l);
+    p.bottleneck = std::min(p.bottleneck, g.link(l).capacity);
+  }
+  if (links.empty()) p.bottleneck = 0.0;
+  return p;
+}
+
+}  // namespace
+
+std::optional<NodePath> shortest_path(const Graph& g, NodeId src, NodeId dst,
+                                      const std::vector<bool>* banned_links,
+                                      const std::vector<bool>* banned_nodes) {
+  const std::size_t n = g.num_nodes();
+  constexpr double kInfDelay = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(n, kInfDelay);
+  std::vector<int> prev_node(n, -1);
+  std::vector<int> prev_link(n, -1);
+  using Item = std::pair<double, std::uint32_t>;  // (dist, node)
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+
+  if (banned_nodes && (*banned_nodes)[src.index()]) return std::nullopt;
+  dist[src.index()] = 0.0;
+  pq.push({0.0, src.value()});
+
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[u]) continue;
+    if (u == dst.value()) break;
+    for (const Adjacency& adj : g.adjacency(NodeId(u))) {
+      if (banned_links && (*banned_links)[adj.link.index()]) continue;
+      if (banned_nodes && (*banned_nodes)[adj.neighbor.index()]) continue;
+      const double nd = d + g.link_delay_us(adj.link);
+      if (nd < dist[adj.neighbor.index()]) {
+        dist[adj.neighbor.index()] = nd;
+        prev_node[adj.neighbor.index()] = static_cast<int>(u);
+        prev_link[adj.neighbor.index()] = static_cast<int>(adj.link.value());
+        pq.push({nd, adj.neighbor.value()});
+      }
+    }
+  }
+  if (dist[dst.index()] == kInfDelay) return std::nullopt;
+
+  std::vector<NodeId> nodes;
+  std::vector<LinkId> links;
+  for (std::uint32_t cur = dst.value(); ;) {
+    nodes.push_back(NodeId(cur));
+    const int pl = prev_link[cur];
+    if (pl < 0) break;
+    links.push_back(LinkId(static_cast<std::uint32_t>(pl)));
+    cur = static_cast<std::uint32_t>(prev_node[cur]);
+  }
+  std::reverse(nodes.begin(), nodes.end());
+  std::reverse(links.begin(), links.end());
+  return assemble(g, nodes, links);
+}
+
+std::vector<NodePath> k_shortest_paths(const Graph& g, NodeId src, NodeId dst,
+                                       std::size_t k) {
+  std::vector<NodePath> result;
+  if (k == 0) return result;
+  auto first = shortest_path(g, src, dst);
+  if (!first) return result;
+  result.push_back(std::move(*first));
+
+  // Candidate pool, kept sorted by delay (ascending) lazily.
+  std::vector<NodePath> candidates;
+  std::vector<bool> banned_links(g.num_links(), false);
+  std::vector<bool> banned_nodes(g.num_nodes(), false);
+
+  while (result.size() < k) {
+    const NodePath& last = result.back();
+    // Spur from every node of the previous path except the terminal.
+    for (std::size_t i = 0; i + 1 < last.nodes.size(); ++i) {
+      const NodeId spur = last.nodes[i];
+      const std::vector<NodeId> root_nodes(last.nodes.begin(),
+                                           last.nodes.begin() + static_cast<long>(i) + 1);
+      const std::vector<LinkId> root_links(last.links.begin(),
+                                           last.links.begin() + static_cast<long>(i));
+
+      std::fill(banned_links.begin(), banned_links.end(), false);
+      std::fill(banned_nodes.begin(), banned_nodes.end(), false);
+      // Ban the next link of every known path sharing this root.
+      for (const NodePath& p : result) {
+        if (p.links.size() > i &&
+            std::equal(root_nodes.begin(), root_nodes.end(), p.nodes.begin())) {
+          banned_links[p.links[i].index()] = true;
+        }
+      }
+      // Ban root nodes except the spur itself (looplessness).
+      for (std::size_t j = 0; j < i; ++j) banned_nodes[root_nodes[j].index()] = true;
+
+      const auto spur_path = shortest_path(g, spur, dst, &banned_links, &banned_nodes);
+      if (!spur_path) continue;
+
+      std::vector<NodeId> total_nodes = root_nodes;
+      total_nodes.insert(total_nodes.end(), spur_path->nodes.begin() + 1,
+                         spur_path->nodes.end());
+      std::vector<LinkId> total_links = root_links;
+      total_links.insert(total_links.end(), spur_path->links.begin(),
+                         spur_path->links.end());
+      NodePath cand = assemble(g, total_nodes, total_links);
+
+      const auto same = [&cand](const NodePath& p) {
+        return p.links == cand.links;
+      };
+      if (std::any_of(result.begin(), result.end(), same) ||
+          std::any_of(candidates.begin(), candidates.end(), same)) {
+        continue;
+      }
+      candidates.push_back(std::move(cand));
+    }
+    if (candidates.empty()) break;
+    const auto best = std::min_element(
+        candidates.begin(), candidates.end(),
+        [](const NodePath& a, const NodePath& b) { return a.delay < b.delay; });
+    result.push_back(std::move(*best));
+    candidates.erase(best);
+  }
+  return result;
+}
+
+}  // namespace ovnes::topo

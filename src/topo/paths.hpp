@@ -1,0 +1,36 @@
+// Shortest-path machinery: Dijkstra (delay metric) and Yen's k-shortest
+// loopless paths, used to precompute the path sets P_{b,c} offline exactly
+// as prescribed in §2.1.2 ("computed offline using, e.g., k-shortest path
+// methods based on Dijkstra's algorithm").
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/units.hpp"
+#include "topo/graph.hpp"
+
+namespace ovnes::topo {
+
+/// A loopless path between two nodes.
+struct NodePath {
+  std::vector<NodeId> nodes;  ///< endpoints included
+  std::vector<LinkId> links;  ///< nodes.size() - 1 entries
+  Micros delay = 0.0;         ///< D_p: sum of link delays
+  Mbps bottleneck = 0.0;      ///< min link capacity along the path
+};
+
+/// Single-pair shortest path by total delay; empty when unreachable.
+/// Links whose id is marked in `banned_links` (and nodes in `banned_nodes`)
+/// are skipped — the hooks Yen's algorithm needs.
+[[nodiscard]] std::optional<NodePath> shortest_path(
+    const Graph& g, NodeId src, NodeId dst,
+    const std::vector<bool>* banned_links = nullptr,
+    const std::vector<bool>* banned_nodes = nullptr);
+
+/// Yen's algorithm: up to k shortest loopless paths, sorted by delay.
+[[nodiscard]] std::vector<NodePath> k_shortest_paths(const Graph& g, NodeId src,
+                                                     NodeId dst, std::size_t k);
+
+}  // namespace ovnes::topo

@@ -1,0 +1,62 @@
+#include "topo/topology.hpp"
+
+#include <stdexcept>
+
+namespace ovnes::topo {
+
+BsId Topology::add_bs(NodeId node, Prbs capacity, double mbps_per_prb,
+                      std::string bs_name) {
+  if (graph.node(node).kind != NodeKind::BaseStation) {
+    throw std::invalid_argument("Topology::add_bs: node is not a BS node");
+  }
+  bss_.push_back(BaseStation{node, capacity, mbps_per_prb, std::move(bs_name)});
+  return BsId(static_cast<std::uint32_t>(bss_.size() - 1));
+}
+
+CuId Topology::add_cu(NodeId node, Cores capacity, bool is_edge,
+                      std::string cu_name) {
+  if (graph.node(node).kind != NodeKind::ComputeUnit) {
+    throw std::invalid_argument("Topology::add_cu: node is not a CU node");
+  }
+  cus_.push_back(ComputeUnit{node, capacity, is_edge, std::move(cu_name)});
+  return CuId(static_cast<std::uint32_t>(cus_.size() - 1));
+}
+
+PathCatalog::PathCatalog(const Topology& topo, std::size_t k)
+    : num_cu_(topo.num_cu()), k_(k) {
+  by_pair_.resize(topo.num_bs() * topo.num_cu());
+  for (std::size_t bi = 0; bi < topo.num_bs(); ++bi) {
+    const BsId b(static_cast<std::uint32_t>(bi));
+    for (std::size_t ci = 0; ci < topo.num_cu(); ++ci) {
+      const CuId c(static_cast<std::uint32_t>(ci));
+      const auto raw = k_shortest_paths(topo.graph, topo.bs(b).node,
+                                        topo.cu(c).node, k);
+      auto& bucket = by_pair_[bi * num_cu_ + ci];
+      bucket.reserve(raw.size());
+      for (const NodePath& p : raw) {
+        bucket.push_back(CandidatePath{b, c, p.links, p.delay, p.bottleneck});
+      }
+    }
+  }
+  for (const auto& bucket : by_pair_) {
+    flat_.insert(flat_.end(), bucket.begin(), bucket.end());
+  }
+}
+
+const std::vector<CandidatePath>& PathCatalog::paths(BsId b, CuId c) const {
+  return by_pair_.at(b.index() * num_cu_ + c.index());
+}
+
+double PathCatalog::mean_paths_per_pair() const {
+  std::size_t pairs = 0, total = 0;
+  for (const auto& bucket : by_pair_) {
+    if (!bucket.empty()) {
+      ++pairs;
+      total += bucket.size();
+    }
+  }
+  return pairs == 0 ? 0.0
+                    : static_cast<double>(total) / static_cast<double>(pairs);
+}
+
+}  // namespace ovnes::topo

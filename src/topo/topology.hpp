@@ -1,0 +1,80 @@
+// The data plane of §2.1: base stations B, computing units C and the
+// transport graph, plus the offline path catalog P_{b,c}.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/units.hpp"
+#include "topo/graph.hpp"
+#include "topo/paths.hpp"
+
+namespace ovnes::topo {
+
+struct BaseStation {
+  NodeId node;
+  Prbs capacity = 100.0;            ///< C_b in PRBs (100 PRBs = 20 MHz carrier)
+  double mbps_per_prb = kMbpsPerPrbIdeal;  ///< 1/η_b: spectral efficiency
+  std::string name;
+};
+
+struct ComputeUnit {
+  NodeId node;
+  Cores capacity = 0.0;  ///< C_c in CPU cores
+  bool is_edge = false;
+  std::string name;
+};
+
+/// One admissible end-to-end route p ∈ P_{b,c} with its SLA-relevant
+/// attributes (delay D_p, bottleneck capacity).
+struct CandidatePath {
+  BsId bs;
+  CuId cu;
+  std::vector<LinkId> links;
+  Micros delay = 0.0;
+  Mbps bottleneck = 0.0;
+};
+
+class Topology {
+ public:
+  Graph graph;
+  std::string name;
+
+  BsId add_bs(NodeId node, Prbs capacity, double mbps_per_prb = kMbpsPerPrbIdeal,
+              std::string bs_name = "");
+  CuId add_cu(NodeId node, Cores capacity, bool is_edge, std::string cu_name = "");
+
+  [[nodiscard]] std::size_t num_bs() const { return bss_.size(); }
+  [[nodiscard]] std::size_t num_cu() const { return cus_.size(); }
+  [[nodiscard]] const BaseStation& bs(BsId id) const { return bss_[id.index()]; }
+  [[nodiscard]] const ComputeUnit& cu(CuId id) const { return cus_[id.index()]; }
+  [[nodiscard]] const std::vector<BaseStation>& base_stations() const { return bss_; }
+  [[nodiscard]] const std::vector<ComputeUnit>& compute_units() const { return cus_; }
+
+ private:
+  std::vector<BaseStation> bss_;
+  std::vector<ComputeUnit> cus_;
+};
+
+/// Offline-computed path sets P_{b,c} (k-shortest by delay, §2.1.2).
+class PathCatalog {
+ public:
+  /// Compute up to `k` shortest loopless paths for every (b, c) pair.
+  PathCatalog(const Topology& topo, std::size_t k);
+
+  [[nodiscard]] const std::vector<CandidatePath>& paths(BsId b, CuId c) const;
+  /// Flat view over all paths, fixed order (b-major, then c, then delay).
+  [[nodiscard]] const std::vector<CandidatePath>& all() const { return flat_; }
+  /// Mean number of paths per (b, c) pair that has at least one path.
+  [[nodiscard]] double mean_paths_per_pair() const;
+  [[nodiscard]] std::size_t k() const { return k_; }
+
+ private:
+  std::size_t num_cu_;
+  std::size_t k_;
+  std::vector<std::vector<CandidatePath>> by_pair_;  ///< index b*C + c
+  std::vector<CandidatePath> flat_;
+};
+
+}  // namespace ovnes::topo

@@ -1,0 +1,88 @@
+#include "traffic/demand.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace ovnes::traffic {
+
+GaussianDemand::GaussianDemand(double mean, double stddev)
+    : mean_(mean), stddev_(stddev) {
+  if (mean < 0.0) throw std::invalid_argument("GaussianDemand: mean < 0");
+  if (stddev < 0.0) throw std::invalid_argument("GaussianDemand: stddev < 0");
+}
+
+double GaussianDemand::sample(std::size_t, RngStream& rng) {
+  return rng.truncated_gaussian(mean_, stddev_, 0.0);
+}
+
+ConstantDemand::ConstantDemand(double value) : value_(value) {
+  if (value < 0.0) throw std::invalid_argument("ConstantDemand: value < 0");
+}
+
+double ConstantDemand::sample(std::size_t, RngStream&) { return value_; }
+
+DiurnalDemand::DiurnalDemand(double peak_mean, double depth,
+                             std::size_t samples_per_day, double jitter_stddev,
+                             double phase)
+    : peak_mean_(peak_mean), depth_(depth), jitter_(jitter_stddev),
+      samples_per_day_(samples_per_day), phase_(phase) {
+  if (peak_mean < 0.0) throw std::invalid_argument("DiurnalDemand: peak");
+  if (depth < 0.0 || depth > 1.0) throw std::invalid_argument("DiurnalDemand: depth");
+  if (samples_per_day < 2) throw std::invalid_argument("DiurnalDemand: period");
+}
+
+double DiurnalDemand::sample(std::size_t sample_idx, RngStream& rng) {
+  const double t = static_cast<double>(sample_idx) /
+                   static_cast<double>(samples_per_day_);
+  // Envelope in [1 - depth, 1]: cosine dipping at "night".
+  const double envelope =
+      1.0 - depth_ * 0.5 *
+                (1.0 + std::cos(2.0 * std::numbers::pi * (t + phase_)));
+  return rng.truncated_gaussian(peak_mean_ * envelope, jitter_, 0.0);
+}
+
+double DiurnalDemand::mean() const { return peak_mean_ * (1.0 - depth_ * 0.5); }
+
+double DiurnalDemand::stddev() const {
+  // Variance = envelope variance + jitter variance; envelope amplitude is
+  // depth/2 around its mean, a sinusoid's std is amplitude/sqrt(2).
+  const double env_std = peak_mean_ * depth_ * 0.5 / std::sqrt(2.0);
+  return std::sqrt(env_std * env_std + jitter_ * jitter_);
+}
+
+OnOffDemand::OnOffDemand(double low, double high, double p_on_to_off,
+                         double p_off_to_on)
+    : low_(low), high_(high), p_on_off_(p_on_to_off), p_off_on_(p_off_to_on) {
+  if (low < 0.0 || high < low) throw std::invalid_argument("OnOffDemand: levels");
+  if (p_on_to_off < 0.0 || p_on_to_off > 1.0 || p_off_to_on < 0.0 ||
+      p_off_to_on > 1.0) {
+    throw std::invalid_argument("OnOffDemand: probabilities");
+  }
+}
+
+double OnOffDemand::sample(std::size_t, RngStream& rng) {
+  if (on_) {
+    if (rng.flip(p_on_off_)) on_ = false;
+  } else {
+    if (rng.flip(p_off_on_)) on_ = true;
+  }
+  return on_ ? high_ : low_;
+}
+
+double OnOffDemand::mean() const {
+  const double denom = p_on_off_ + p_off_on_;
+  const double p_on = denom > 0.0 ? p_off_on_ / denom : 0.0;
+  return p_on * high_ + (1.0 - p_on) * low_;
+}
+
+double OnOffDemand::stddev() const {
+  const double denom = p_on_off_ + p_off_on_;
+  const double p_on = denom > 0.0 ? p_off_on_ / denom : 0.0;
+  const double m = mean();
+  const double var = p_on * (high_ - m) * (high_ - m) +
+                     (1.0 - p_on) * (low_ - m) * (low_ - m);
+  return std::sqrt(var);
+}
+
+}  // namespace ovnes::traffic

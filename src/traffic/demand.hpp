@@ -1,0 +1,97 @@
+// Vertical-service traffic models.
+//
+// §4.3.2: "the actual traffic demand λ(θ) follows a Gaussian distribution
+// with variable mean λ̄ and standard deviation σ. The only exception is the
+// mMTC template that has a deterministic load (σ_mMTC = 0)."
+// The experimental PoC (§5) additionally drives a diurnal day profile
+// through mgen; DiurnalDemand reproduces that shape for Fig. 8 and the
+// forecasting ablation.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace ovnes::traffic {
+
+/// A per-tenant demand process sampled once per monitoring interval θ.
+class DemandModel {
+ public:
+  virtual ~DemandModel() = default;
+
+  /// Draw λ(θ) >= 0 for monitoring sample `sample_idx` (global, monotone).
+  virtual double sample(std::size_t sample_idx, RngStream& rng) = 0;
+
+  /// Long-run mean of the process (λ̄), used by oracle forecasting.
+  [[nodiscard]] virtual double mean() const = 0;
+  /// Long-run standard deviation (σ).
+  [[nodiscard]] virtual double stddev() const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+using DemandPtr = std::unique_ptr<DemandModel>;
+
+/// i.i.d. Gaussian truncated at zero. σ = 0 degenerates to a constant
+/// (the mMTC template).
+class GaussianDemand final : public DemandModel {
+ public:
+  GaussianDemand(double mean, double stddev);
+  double sample(std::size_t sample_idx, RngStream& rng) override;
+  [[nodiscard]] double mean() const override { return mean_; }
+  [[nodiscard]] double stddev() const override { return stddev_; }
+  [[nodiscard]] std::string name() const override { return "gaussian"; }
+
+ private:
+  double mean_, stddev_;
+};
+
+/// Deterministic constant load.
+class ConstantDemand final : public DemandModel {
+ public:
+  explicit ConstantDemand(double value);
+  double sample(std::size_t sample_idx, RngStream& rng) override;
+  [[nodiscard]] double mean() const override { return value_; }
+  [[nodiscard]] double stddev() const override { return 0.0; }
+  [[nodiscard]] std::string name() const override { return "constant"; }
+
+ private:
+  double value_;
+};
+
+/// Day-shaped profile: sinusoidal envelope with period `samples_per_day`
+/// (mobile traffic periodicity, [36]) plus Gaussian jitter. The envelope
+/// swings between (1 - depth)·peak_mean and peak_mean.
+class DiurnalDemand final : public DemandModel {
+ public:
+  DiurnalDemand(double peak_mean, double depth, std::size_t samples_per_day,
+                double jitter_stddev, double phase = 0.0);
+  double sample(std::size_t sample_idx, RngStream& rng) override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double stddev() const override;
+  [[nodiscard]] std::string name() const override { return "diurnal"; }
+
+ private:
+  double peak_mean_, depth_, jitter_;
+  std::size_t samples_per_day_;
+  double phase_;
+};
+
+/// Markov on-off bursts: in the ON state the load is `high`, otherwise
+/// `low`; state flips with the given per-sample probabilities. Models the
+/// bursty AR/VR-style workloads of the paper's motivation.
+class OnOffDemand final : public DemandModel {
+ public:
+  OnOffDemand(double low, double high, double p_on_to_off, double p_off_to_on);
+  double sample(std::size_t sample_idx, RngStream& rng) override;
+  [[nodiscard]] double mean() const override;
+  [[nodiscard]] double stddev() const override;
+  [[nodiscard]] std::string name() const override { return "onoff"; }
+
+ private:
+  double low_, high_, p_on_off_, p_off_on_;
+  bool on_ = false;
+};
+
+}  // namespace ovnes::traffic

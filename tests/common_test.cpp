@@ -1,0 +1,229 @@
+// Unit tests for src/common: RNG streams, running stats, empirical
+// distributions, time-series store, JSON round-trip, row formatting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/json.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/time_series.hpp"
+
+namespace ovnes {
+namespace {
+
+// ---------------------------------------------------------------- RngStream
+
+TEST(RngStream, Deterministic) {
+  RngStream a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(RngStream, DerivedStreamsDiffer) {
+  RngStream root(7);
+  RngStream t0 = root.derive("traffic", 0);
+  RngStream t1 = root.derive("traffic", 1);
+  RngStream topo = root.derive("topology", 0);
+  EXPECT_NE(t0.seed(), t1.seed());
+  EXPECT_NE(t0.seed(), topo.seed());
+  // Derivation is a pure function of (seed, label, index).
+  EXPECT_EQ(root.derive("traffic", 0).seed(), t0.seed());
+}
+
+TEST(RngStream, UniformRange) {
+  RngStream r(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.uniform(2.0, 5.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(RngStream, GaussianMoments) {
+  RngStream r(3);
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) s.add(r.gaussian(10.0, 2.0));
+  EXPECT_NEAR(s.mean(), 10.0, 0.1);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.1);
+}
+
+TEST(RngStream, GaussianZeroSigmaIsDeterministic) {
+  RngStream r(3);
+  EXPECT_DOUBLE_EQ(r.gaussian(5.0, 0.0), 5.0);
+}
+
+TEST(RngStream, TruncatedGaussianNonNegative) {
+  RngStream r(9);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_GE(r.truncated_gaussian(1.0, 3.0, 0.0), 0.0);
+  }
+}
+
+TEST(RngStream, TruncatedGaussianPathologicalMean) {
+  RngStream r(9);
+  // Mean far below the floor: clamps instead of spinning forever.
+  EXPECT_DOUBLE_EQ(r.truncated_gaussian(-1e9, 1.0, 0.0), 0.0);
+}
+
+TEST(RngStream, UniformIntBounds) {
+  RngStream r(5);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const auto v = r.uniform_int(1, 6);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 6);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6u);  // all faces observed
+}
+
+// ------------------------------------------------------------- RunningStats
+
+TEST(RunningStats, Empty) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, RelativeStandardErrorShrinks) {
+  RngStream r(11);
+  RunningStats s;
+  double prev = 1e9;
+  for (int block = 0; block < 4; ++block) {
+    for (int i = 0; i < 2500; ++i) s.add(r.gaussian(100.0, 10.0));
+    EXPECT_LT(s.relative_standard_error(), prev);
+    prev = s.relative_standard_error();
+  }
+  EXPECT_LT(s.relative_standard_error(), 0.02);  // the paper's 2% rule
+}
+
+// ---------------------------------------------------- EmpiricalDistribution
+
+TEST(EmpiricalDistribution, QuantilesAndCdf) {
+  EmpiricalDistribution d;
+  for (int i = 1; i <= 100; ++i) d.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(d.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(d.quantile(1.0), 100.0);
+  EXPECT_NEAR(d.quantile(0.5), 50.5, 1e-9);
+  EXPECT_NEAR(d.cdf(50.0), 0.5, 1e-9);
+  EXPECT_DOUBLE_EQ(d.cdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(d.cdf(100.0), 1.0);
+}
+
+TEST(EmpiricalDistribution, CdfSeriesMonotone) {
+  EmpiricalDistribution d;
+  RngStream r(4);
+  for (int i = 0; i < 500; ++i) d.add(r.uniform(0, 10));
+  const auto series = d.cdf_series(20);
+  ASSERT_EQ(series.size(), 20u);
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    EXPECT_GE(series[i].first, series[i - 1].first);
+    EXPECT_GE(series[i].second, series[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(series.back().second, 1.0);
+}
+
+// ------------------------------------------------------------ TimeSeriesStore
+
+TEST(TimeSeriesStore, AppendAndRange) {
+  TimeSeriesStore ts;
+  for (int i = 0; i < 10; ++i) ts.append("load/t0", i, i * 2.0);
+  EXPECT_EQ(ts.series("load/t0").size(), 10u);
+  EXPECT_EQ(ts.range("load/t0", 2.0, 5.0).size(), 3u);
+  EXPECT_TRUE(ts.series("unknown").empty());
+}
+
+TEST(TimeSeriesStore, MaxInWindowIsPeakAggregation) {
+  // λ(t) = max over monitoring samples in the epoch (§2.2.2).
+  TimeSeriesStore ts;
+  ts.append("l", 0.0, 5.0);
+  ts.append("l", 0.5, 9.0);
+  ts.append("l", 0.9, 7.0);
+  ts.append("l", 1.0, 100.0);  // next epoch
+  const auto peak = ts.max_in("l", 0.0, 1.0);
+  ASSERT_TRUE(peak.has_value());
+  EXPECT_DOUBLE_EQ(*peak, 9.0);
+  EXPECT_FALSE(ts.max_in("l", 5.0, 6.0).has_value());
+}
+
+// ---------------------------------------------------------------------- JSON
+
+TEST(Json, RoundTripScalars) {
+  using namespace ovnes::json;
+  EXPECT_EQ(parse("null"), Value(nullptr));
+  EXPECT_EQ(parse("true").as_bool(), true);
+  EXPECT_EQ(parse("-3.5e2").as_number(), -350.0);
+  EXPECT_EQ(parse("\"a\\nb\"").as_string(), "a\nb");
+}
+
+TEST(Json, RoundTripNested) {
+  using namespace ovnes::json;
+  Object obj;
+  obj["name"] = Value("slice-1");
+  obj["sla_mbps"] = Value(50.0);
+  obj["paths"] = Value(Array{Value(1), Value(2), Value(3)});
+  Object inner;
+  inner["cpu"] = Value(2.5);
+  obj["compute"] = Value(std::move(inner));
+  const Value v(std::move(obj));
+
+  const Value back = parse(v.dump());
+  EXPECT_EQ(back, v);
+  const Value pretty = parse(v.dump(2));
+  EXPECT_EQ(pretty, v);
+}
+
+TEST(Json, AccessorsThrowOnTypeMismatch) {
+  using namespace ovnes::json;
+  const Value v = parse("{\"a\": 1}");
+  EXPECT_THROW((void)v.as_array(), JsonError);
+  EXPECT_THROW((void)v.at("missing"), JsonError);
+  EXPECT_TRUE(v.has("a"));
+  EXPECT_FALSE(v.has("b"));
+}
+
+TEST(Json, ParseErrors) {
+  using namespace ovnes::json;
+  EXPECT_THROW(parse("{"), JsonError);
+  EXPECT_THROW(parse("[1,]2"), JsonError);
+  EXPECT_THROW(parse("tru"), JsonError);
+  EXPECT_THROW(parse("\"unterminated"), JsonError);
+  EXPECT_THROW(parse("1 2"), JsonError);
+}
+
+TEST(Json, UnicodeEscape) {
+  using namespace ovnes::json;
+  EXPECT_EQ(parse("\"\\u0041\"").as_string(), "A");
+}
+
+// ----------------------------------------------------------------------- Row
+
+TEST(Row, Formatting) {
+  Row row("fig5");
+  row.set("topo", std::string("romanian")).set("alpha", 0.2).set("m", 4)
+      .set("ok", true);
+  EXPECT_EQ(row.str(), "fig5 topo=romanian alpha=0.2 m=4 ok=true");
+}
+
+TEST(Row, NumberFormatting) {
+  EXPECT_EQ(format_number(1.0), "1");
+  EXPECT_EQ(format_number(0.25), "0.25");
+  EXPECT_EQ(format_number(1.23456789, 3), "1.235");
+  EXPECT_EQ(format_number(-0.0), "0");
+}
+
+}  // namespace
+}  // namespace ovnes

@@ -1,0 +1,179 @@
+// Tests for the domain controllers (Fig. 2 southbound) and the slice
+// manager lifecycle.
+#include <gtest/gtest.h>
+
+#include "orch/controllers.hpp"
+#include "orch/slice_manager.hpp"
+#include "topo/generators.hpp"
+
+namespace ovnes::orch {
+namespace {
+
+class ControllersTest : public ::testing::Test {
+ protected:
+  ControllersTest() : topo_(topo::make_testbed()) {}
+  topo::Topology topo_;
+};
+
+// ---------------------------------------------------------------------- RAN
+
+TEST_F(ControllersTest, RanGrantAndRelease) {
+  RanController ran(topo_);
+  EXPECT_TRUE(ran.grant("s1", BsId(0), 40.0).ok);
+  EXPECT_TRUE(ran.grant("s2", BsId(0), 50.0).ok);
+  EXPECT_DOUBLE_EQ(ran.total_granted(BsId(0)), 90.0);
+  EXPECT_DOUBLE_EQ(ran.free_capacity(BsId(0)), 10.0);
+  EXPECT_DOUBLE_EQ(ran.granted("s1", BsId(0)), 40.0);
+  EXPECT_DOUBLE_EQ(ran.granted("s1", BsId(1)), 0.0);
+  ran.release("s1");
+  EXPECT_DOUBLE_EQ(ran.total_granted(BsId(0)), 50.0);
+}
+
+TEST_F(ControllersTest, RanRejectsOversubscription) {
+  RanController ran(topo_);
+  ASSERT_TRUE(ran.grant("s1", BsId(0), 80.0).ok);
+  const EnforceResult r = ran.grant("s2", BsId(0), 30.0);  // 110 > 100 PRBs
+  EXPECT_FALSE(r.ok);
+  EXPECT_FALSE(r.error.empty());
+  // The failed grant must not be recorded.
+  EXPECT_DOUBLE_EQ(ran.granted("s2", BsId(0)), 0.0);
+}
+
+TEST_F(ControllersTest, RanGrantReplacesNotAccumulates) {
+  RanController ran(topo_);
+  ASSERT_TRUE(ran.grant("s1", BsId(0), 60.0).ok);
+  ASSERT_TRUE(ran.grant("s1", BsId(0), 70.0).ok);  // resize, not +130
+  EXPECT_DOUBLE_EQ(ran.total_granted(BsId(0)), 70.0);
+  EXPECT_FALSE(ran.grant("s1", BsId(0), -1.0).ok);
+}
+
+// ---------------------------------------------------------------- Transport
+
+TEST_F(ControllersTest, TransportInstallTracksResidual) {
+  TransportController tc(topo_);
+  // Testbed link 0 = bs0-switch (1 Gb/s).
+  ASSERT_TRUE(tc.install({"s1", BsId(0), {LinkId(0), LinkId(2)}, 400.0}).ok);
+  EXPECT_DOUBLE_EQ(tc.reserved_on(LinkId(0)), 400.0);
+  EXPECT_DOUBLE_EQ(tc.free_capacity(LinkId(2)), 600.0);
+  EXPECT_EQ(tc.num_rules(), 1u);
+  ASSERT_TRUE(tc.install({"s2", BsId(0), {LinkId(0)}, 600.0}).ok);
+  // Link 0 is now full.
+  EXPECT_FALSE(tc.install({"s3", BsId(0), {LinkId(0)}, 1.0}).ok);
+}
+
+TEST_F(ControllersTest, TransportReplaceSemantics) {
+  TransportController tc(topo_);
+  ASSERT_TRUE(tc.install({"s1", BsId(0), {LinkId(0)}, 900.0}).ok);
+  // Re-installing for the same (slice, bs) frees the old reservation first.
+  ASSERT_TRUE(tc.install({"s1", BsId(0), {LinkId(0)}, 950.0}).ok);
+  EXPECT_DOUBLE_EQ(tc.reserved_on(LinkId(0)), 950.0);
+  EXPECT_EQ(tc.rules_of("s1").size(), 1u);
+  tc.release("s1");
+  EXPECT_DOUBLE_EQ(tc.reserved_on(LinkId(0)), 0.0);
+  EXPECT_TRUE(tc.rules_of("s1").empty());
+}
+
+TEST_F(ControllersTest, TransportAccountsOverhead) {
+  // Give link 0 a 10% transport overhead η_e = 1.1 (Eq. 3).
+  topo::Topology t = topo::make_mini(1, 16.0, 0.0, 0.0, 1000.0);
+  const_cast<topo::Link&>(t.graph.links()[0]).overhead = 1.1;
+  TransportController tc(t);
+  ASSERT_TRUE(tc.install({"s1", BsId(0), {LinkId(0)}, 500.0}).ok);
+  EXPECT_DOUBLE_EQ(tc.reserved_on(LinkId(0)), 550.0);  // 500 · 1.1
+}
+
+// -------------------------------------------------------------------- Cloud
+
+TEST_F(ControllersTest, CloudInstantiateResizeRelease) {
+  CloudController cc(topo_);
+  ASSERT_TRUE(cc.instantiate("s1", CuId(0), 10.0).ok);  // 16-core edge
+  EXPECT_DOUBLE_EQ(cc.pinned("s1"), 10.0);
+  EXPECT_DOUBLE_EQ(cc.free_capacity(CuId(0)), 6.0);
+  // Resize in place.
+  ASSERT_TRUE(cc.instantiate("s1", CuId(0), 14.0).ok);
+  EXPECT_DOUBLE_EQ(cc.free_capacity(CuId(0)), 2.0);
+  // No room for a second big one.
+  EXPECT_FALSE(cc.instantiate("s2", CuId(0), 5.0).ok);
+  // But the 64-core core CU has room.
+  EXPECT_TRUE(cc.instantiate("s2", CuId(1), 5.0).ok);
+  ASSERT_TRUE(cc.placement("s2").has_value());
+  EXPECT_EQ(*cc.placement("s2"), CuId(1));
+  cc.release("s1");
+  EXPECT_DOUBLE_EQ(cc.free_capacity(CuId(0)), 16.0);
+  EXPECT_FALSE(cc.placement("s1").has_value());
+}
+
+TEST_F(ControllersTest, CloudMigrationFreesOldCu) {
+  CloudController cc(topo_);
+  ASSERT_TRUE(cc.instantiate("s1", CuId(0), 12.0).ok);
+  ASSERT_TRUE(cc.instantiate("s1", CuId(1), 12.0).ok);  // migrate
+  EXPECT_DOUBLE_EQ(cc.total_pinned(CuId(0)), 0.0);
+  EXPECT_DOUBLE_EQ(cc.total_pinned(CuId(1)), 12.0);
+}
+
+// ------------------------------------------------------------ SliceManager
+
+slice::SliceRequest valid_request(const std::string& name) {
+  slice::SliceRequest req;
+  req.name = name;
+  req.tmpl = slice::standard_template(slice::SliceType::eMBB);
+  req.duration_epochs = 10;
+  req.declared_mean = 20.0;
+  req.declared_std = 2.0;
+  return req;
+}
+
+TEST(SliceManager, ValidatesRequests) {
+  SliceManager mgr(2);
+  EXPECT_TRUE(mgr.submit(valid_request("a")).ok);
+
+  auto dup = valid_request("a");
+  EXPECT_FALSE(mgr.submit(dup).ok);  // duplicate name
+
+  auto unnamed = valid_request("");
+  EXPECT_FALSE(mgr.submit(unnamed).ok);
+
+  auto zero_sla = valid_request("b");
+  zero_sla.tmpl.sla_rate = 0.0;
+  EXPECT_FALSE(mgr.submit(zero_sla).ok);
+
+  auto zero_dur = valid_request("c");
+  zero_dur.duration_epochs = 0;
+  EXPECT_FALSE(mgr.submit(zero_dur).ok);
+
+  auto over_declared = valid_request("d");
+  over_declared.declared_mean = 100.0;  // above Λ = 50
+  EXPECT_FALSE(mgr.submit(over_declared).ok);
+  EXPECT_EQ(mgr.count(), 1u);
+}
+
+TEST(SliceManager, LifecycleAndDescriptor) {
+  SliceManager mgr(3);
+  ASSERT_TRUE(mgr.submit(valid_request("video")).ok);
+  const SliceRecord* rec = mgr.find("video");
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->state, SliceState::Pending);
+  // Descriptor was rendered at submission (Fig. 1 chain, one PNF per BS).
+  EXPECT_EQ(rec->descriptor.pnfs.size(), 3u);
+  EXPECT_EQ(rec->descriptor.vnfs.size(), 3u);
+
+  mgr.mark_active("video", 4, "edge");
+  EXPECT_EQ(mgr.find("video")->state, SliceState::Active);
+  EXPECT_EQ(mgr.find("video")->descriptor.placement_cu, "edge");
+  EXPECT_EQ(mgr.in_state(SliceState::Active).size(), 1u);
+
+  mgr.mark_expired("video", 14);
+  EXPECT_EQ(mgr.find("video")->state, SliceState::Expired);
+  EXPECT_EQ(mgr.find("video")->decided_epoch, 14u);
+  EXPECT_TRUE(mgr.in_state(SliceState::Active).empty());
+}
+
+TEST(SliceManager, UnknownNamesAreIgnoredSafely) {
+  SliceManager mgr(2);
+  mgr.mark_active("ghost", 1, "edge");  // no crash, no record
+  EXPECT_EQ(mgr.find("ghost"), nullptr);
+  EXPECT_EQ(mgr.count(), 0u);
+}
+
+}  // namespace
+}  // namespace ovnes::orch

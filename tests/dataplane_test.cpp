@@ -1,0 +1,117 @@
+// Tests for the data-plane components: the three-regime split-TCP
+// middlebox of §2.1.3 (forward / buffer / police) and the token bucket.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "dataplane/middlebox.hpp"
+
+namespace ovnes::dataplane {
+namespace {
+
+constexpr double kDt = 300.0;  // one 5-minute monitoring interval
+
+TEST(Middlebox, ForwardRegimeWhenLoadWithinReservation) {
+  SplitTcpMiddlebox mbx(/*sla=*/50.0);
+  const auto s = mbx.step(/*offered=*/20.0, /*reserved=*/30.0, kDt);
+  EXPECT_EQ(s.regime, MiddleboxRegime::Forward);
+  EXPECT_DOUBLE_EQ(s.delivered, 20.0);
+  EXPECT_DOUBLE_EQ(s.dropped_sla, 0.0);
+  EXPECT_DOUBLE_EQ(s.backlog_mb, 0.0);
+}
+
+TEST(Middlebox, BufferRegimeShapesToReservation) {
+  // Load within SLA but above the reservation: shape to z and queue the
+  // excess (ACKed upstream — transparent to the sender).
+  SplitTcpMiddlebox mbx(50.0);
+  const auto s = mbx.step(/*offered=*/40.0, /*reserved=*/30.0, kDt);
+  EXPECT_EQ(s.regime, MiddleboxRegime::Buffer);
+  EXPECT_DOUBLE_EQ(s.delivered, 30.0);
+  EXPECT_DOUBLE_EQ(s.dropped_sla, 0.0);
+  EXPECT_DOUBLE_EQ(s.backlog_mb, 10.0 * kDt);
+}
+
+TEST(Middlebox, PoliceRegimeDropsAboveSla) {
+  SplitTcpMiddlebox mbx(50.0);
+  const auto s = mbx.step(/*offered=*/80.0, /*reserved=*/60.0, kDt);
+  EXPECT_EQ(s.regime, MiddleboxRegime::PoliceSla);
+  EXPECT_DOUBLE_EQ(s.dropped_sla, 30.0);  // down to Λ = 50
+  EXPECT_DOUBLE_EQ(s.delivered, 50.0);    // fits the reservation
+}
+
+TEST(Middlebox, BacklogDrainsWhenCapacityFreesUp) {
+  SplitTcpMiddlebox mbx(50.0);
+  (void)mbx.step(40.0, 30.0, kDt);  // queue 10·dt megabits
+  ASSERT_GT(mbx.backlog_mb(), 0.0);
+  // Next interval: light load, big reservation: backlog + load all drain.
+  const auto s = mbx.step(10.0, 45.0, kDt);
+  EXPECT_DOUBLE_EQ(s.backlog_mb, 0.0);
+  EXPECT_NEAR(s.delivered, 10.0 + 10.0, 1e-9);  // load + drained backlog
+  EXPECT_EQ(s.regime, MiddleboxRegime::Forward);
+}
+
+TEST(Middlebox, ConservationLaw) {
+  // offered·dt == delivered·dt + Δbacklog + drops·dt at every step.
+  SplitTcpMiddlebox mbx(50.0, /*max_backlog_mb=*/500.0);
+  RngStream rng(3);
+  double prev_backlog = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    const double offered = rng.uniform(0.0, 80.0);
+    const double reserved = rng.uniform(0.0, 60.0);
+    const auto s = mbx.step(offered, reserved, kDt);
+    const double in_mb = offered * kDt;
+    const double out_mb = s.delivered * kDt +
+                          (s.dropped_sla + s.dropped_overflow) * kDt +
+                          (s.backlog_mb - prev_backlog);
+    EXPECT_NEAR(in_mb, out_mb, 1e-6);
+    prev_backlog = s.backlog_mb;
+  }
+}
+
+TEST(Middlebox, FiniteBufferOverflows) {
+  SplitTcpMiddlebox mbx(50.0, /*max_backlog_mb=*/100.0);
+  const auto s = mbx.step(/*offered=*/50.0, /*reserved=*/0.0, kDt);
+  EXPECT_DOUBLE_EQ(s.backlog_mb, 100.0);
+  EXPECT_NEAR(s.dropped_overflow, (50.0 * kDt - 100.0) / kDt, 1e-9);
+}
+
+TEST(Middlebox, ZeroReservationDeliversNothing) {
+  SplitTcpMiddlebox mbx(50.0);
+  const auto s = mbx.step(10.0, 0.0, kDt);
+  EXPECT_DOUBLE_EQ(s.delivered, 0.0);
+  EXPECT_EQ(s.regime, MiddleboxRegime::Buffer);
+}
+
+TEST(Middlebox, Validation) {
+  EXPECT_THROW(SplitTcpMiddlebox(-1.0), std::invalid_argument);
+  SplitTcpMiddlebox mbx(50.0);
+  EXPECT_THROW(mbx.step(-1.0, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(mbx.step(1.0, 1.0, 0.0), std::invalid_argument);
+}
+
+TEST(TokenBucket, ConformantTrafficPasses) {
+  TokenBucket tb(/*rate=*/10.0, /*depth=*/5.0);
+  EXPECT_TRUE(tb.try_consume(5.0, 0.0));   // drains the bucket
+  EXPECT_FALSE(tb.try_consume(1.0, 0.0));  // empty
+  EXPECT_TRUE(tb.try_consume(1.0, 0.2));   // 0.2s · 10 = 2 tokens refilled
+}
+
+TEST(TokenBucket, DepthCapsBurst) {
+  TokenBucket tb(10.0, 5.0);
+  EXPECT_DOUBLE_EQ(tb.tokens_at(100.0), 5.0);  // never above depth
+  EXPECT_FALSE(tb.try_consume(6.0, 100.0));    // burst larger than depth
+}
+
+TEST(TokenBucket, LongRunRateIsEnforced) {
+  TokenBucket tb(10.0, 5.0);
+  double sent = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    const double t = i * 0.1;
+    if (tb.try_consume(1.5, t)) sent += 1.5;
+  }
+  // 100 seconds at 10 Mb/s -> about 1000 Mb + initial burst.
+  EXPECT_LE(sent, 10.0 * 100.0 + 5.0 + 1e-9);
+  EXPECT_GE(sent, 0.9 * 10.0 * 100.0);
+}
+
+}  // namespace
+}  // namespace ovnes::dataplane

@@ -1,0 +1,172 @@
+// Tests for the forecasting sub-block (§2.2.2): SES / Holt / Holt-Winters
+// convergence on synthetic signals, uncertainty behaviour, and the oracle.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/rng.hpp"
+#include "forecast/smoothing.hpp"
+
+namespace ovnes::forecast {
+namespace {
+
+TEST(Ses, ConvergesToConstant) {
+  SesForecaster f(0.3);
+  for (int i = 0; i < 200; ++i) f.observe(42.0);
+  EXPECT_NEAR(f.forecast().value, 42.0, 1e-9);
+  EXPECT_LE(f.forecast().uncertainty, 2 * kMinUncertainty);
+  EXPECT_EQ(f.observations(), 200u);
+}
+
+TEST(Ses, UncertaintyReflectsNoise) {
+  RngStream rng(5);
+  SesForecaster calm(0.3), noisy(0.3);
+  for (int i = 0; i < 500; ++i) {
+    calm.observe(rng.gaussian(100.0, 1.0));
+    noisy.observe(rng.gaussian(100.0, 30.0));
+  }
+  EXPECT_LT(calm.forecast().uncertainty, noisy.forecast().uncertainty);
+  EXPECT_LE(noisy.forecast().uncertainty, 1.0);
+  EXPECT_GT(calm.forecast().uncertainty, 0.0);
+}
+
+TEST(Ses, RejectsBadAlpha) {
+  EXPECT_THROW(SesForecaster(0.0), std::invalid_argument);
+  EXPECT_THROW(SesForecaster(1.5), std::invalid_argument);
+}
+
+TEST(Holt, TracksLinearTrend) {
+  HoltForecaster f(0.5, 0.3);
+  for (int i = 0; i < 300; ++i) f.observe(10.0 + 2.0 * i);
+  // One-step-ahead should continue the trend.
+  EXPECT_NEAR(f.forecast(1).value, 10.0 + 2.0 * 300, 1.0);
+  // Multi-step extrapolates linearly.
+  EXPECT_NEAR(f.forecast(5).value - f.forecast(1).value, 8.0, 0.5);
+}
+
+TEST(Holt, NonNegativeForecasts) {
+  HoltForecaster f;
+  f.observe(10.0);
+  f.observe(1.0);
+  f.observe(0.1);  // steep downward trend
+  EXPECT_GE(f.forecast(50).value, 0.0);
+}
+
+TEST(HoltWinters, WarmupFallback) {
+  HoltWintersForecaster f(12);
+  EXPECT_FALSE(f.seasonal_ready());
+  f.observe(10.0);
+  f.observe(12.0);
+  const Forecast fc = f.forecast();
+  EXPECT_NEAR(fc.value, 11.0, 1e-9);   // warm-up mean
+  EXPECT_DOUBLE_EQ(fc.uncertainty, 1.0);  // fully uncertain while warming up
+}
+
+TEST(HoltWinters, LearnsMultiplicativeSeasonality) {
+  const std::size_t period = 24;
+  HoltWintersForecaster f(period, Seasonality::Multiplicative);
+  const auto signal = [&](std::size_t t) {
+    return 100.0 * (1.0 + 0.5 * std::sin(2.0 * std::numbers::pi *
+                                         static_cast<double>(t % period) /
+                                         static_cast<double>(period)));
+  };
+  std::size_t t = 0;
+  for (; t < 8 * period; ++t) f.observe(signal(t));
+  EXPECT_TRUE(f.seasonal_ready());
+  // Predict one full season ahead and compare phase by phase.
+  for (std::size_t h = 1; h <= period; ++h) {
+    const double expected = signal(t + h - 1);
+    EXPECT_NEAR(f.forecast(h).value, expected, 0.12 * 100.0)
+        << "h=" << h;
+  }
+  EXPECT_LT(f.forecast().uncertainty, 0.2);  // seasonal signal well learnt
+}
+
+TEST(HoltWinters, AdditiveModeLearnsToo) {
+  const std::size_t period = 12;
+  HoltWintersForecaster f(period, Seasonality::Additive);
+  const auto signal = [&](std::size_t t) {
+    return 50.0 + 20.0 * std::cos(2.0 * std::numbers::pi *
+                                  static_cast<double>(t % period) /
+                                  static_cast<double>(period));
+  };
+  std::size_t t = 0;
+  for (; t < 10 * period; ++t) f.observe(signal(t));
+  for (std::size_t h = 1; h <= period; ++h) {
+    EXPECT_NEAR(f.forecast(h).value, signal(t + h - 1), 4.0) << "h=" << h;
+  }
+}
+
+TEST(HoltWinters, OutperformsHoltOnSeasonalData) {
+  // The paper's §2.2.2 argument: double ES cannot capture seasonality.
+  const std::size_t period = 24;
+  HoltWintersForecaster hw(period);
+  HoltForecaster holt;
+  RngStream rng(9);
+  const auto signal = [&](std::size_t t) {
+    return 100.0 + 60.0 * std::sin(2.0 * std::numbers::pi *
+                                   static_cast<double>(t % period) /
+                                   static_cast<double>(period));
+  };
+  double hw_err = 0.0, holt_err = 0.0;
+  std::size_t t = 0;
+  for (; t < 12 * period; ++t) {
+    const double y = signal(t) + rng.gaussian(0.0, 2.0);
+    if (t > 4 * period) {  // score after warm-up
+      hw_err += std::abs(hw.forecast(1).value - y);
+      holt_err += std::abs(holt.forecast(1).value - y);
+    }
+    hw.observe(y);
+    holt.observe(y);
+  }
+  EXPECT_LT(hw_err, 0.5 * holt_err);
+}
+
+TEST(HoltWinters, ParameterValidation) {
+  EXPECT_THROW(HoltWintersForecaster(1), std::invalid_argument);
+  EXPECT_THROW(HoltWintersForecaster(12, Seasonality::Multiplicative, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(HoltWintersForecaster(12, Seasonality::Multiplicative, 0.3, 2.0),
+               std::invalid_argument);
+}
+
+TEST(Oracle, ReturnsConfiguredValues) {
+  OracleForecaster f(25.0, 0.5);
+  f.observe(1000.0);  // ignored
+  EXPECT_DOUBLE_EQ(f.forecast().value, 25.0);
+  EXPECT_DOUBLE_EQ(f.forecast().uncertainty, 0.5);
+}
+
+TEST(Oracle, SigmaClamping) {
+  EXPECT_DOUBLE_EQ(OracleForecaster(10.0, 0.0).forecast().uncertainty,
+                   kMinUncertainty);
+  EXPECT_DOUBLE_EQ(OracleForecaster(10.0, 7.0).forecast().uncertainty, 1.0);
+  EXPECT_THROW(OracleForecaster(-1.0, 0.1), std::invalid_argument);
+}
+
+// Parameterized: every forecaster keeps σ̂ within (0, 1] on random data.
+class SigmaRangeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SigmaRangeTest, SigmaAlwaysInRange) {
+  RngStream rng(static_cast<uint64_t>(GetParam()));
+  std::vector<ForecasterPtr> fs;
+  fs.push_back(std::make_unique<SesForecaster>());
+  fs.push_back(std::make_unique<HoltForecaster>());
+  fs.push_back(std::make_unique<HoltWintersForecaster>(12));
+  for (int i = 0; i < 200; ++i) {
+    const double v = rng.uniform(0.0, 1000.0);
+    for (auto& f : fs) {
+      f->observe(v);
+      const Forecast fc = f->forecast();
+      EXPECT_GT(fc.uncertainty, 0.0) << f->name();
+      EXPECT_LE(fc.uncertainty, 1.0) << f->name();
+      EXPECT_GE(fc.value, 0.0) << f->name();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSignals, SigmaRangeTest, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace ovnes::forecast

@@ -1,0 +1,61 @@
+// Tests for the northbound NS descriptor model and its JSON wire format.
+#include <gtest/gtest.h>
+
+#include "nbi/descriptor.hpp"
+
+namespace ovnes::nbi {
+namespace {
+
+slice::SliceRequest sample_request() {
+  slice::SliceRequest req;
+  req.tenant = TenantId(7);
+  req.name = "automotive-7";
+  req.tmpl = slice::standard_template(slice::SliceType::uRLLC);
+  req.duration_epochs = 24;
+  return req;
+}
+
+TEST(Descriptor, CanonicalChainMatchesFig1) {
+  const NetworkServiceDescriptor d = make_network_service(sample_request(), 3);
+  // vEPC + middlebox + VS.
+  ASSERT_EQ(d.vnfs.size(), 3u);
+  EXPECT_EQ(d.vnfs[0].kind, "vepc");
+  EXPECT_EQ(d.vnfs[1].kind, "middlebox");
+  EXPECT_EQ(d.vnfs[2].kind, "vertical-service");
+  // One BS-slice PNF per radio site.
+  EXPECT_EQ(d.pnfs.size(), 3u);
+  // Service chain virtual links sized at the aggregate SLA.
+  ASSERT_EQ(d.links.size(), 3u);
+  EXPECT_DOUBLE_EQ(d.links[0].bitrate, 25.0 * 3);
+  EXPECT_DOUBLE_EQ(d.links[0].max_latency, 5000.0);
+  EXPECT_EQ(d.slice_type, "urllc");
+}
+
+TEST(Descriptor, VsComputeSizedByServiceModel) {
+  // uRLLC: b = 0.2 cores/Mb/s at aggregate SLA 75 Mb/s -> 15 cores.
+  const NetworkServiceDescriptor d = make_network_service(sample_request(), 3);
+  EXPECT_DOUBLE_EQ(d.vnfs[2].vcpu, 0.2 * 25.0 * 3);
+}
+
+TEST(Descriptor, JsonRoundTrip) {
+  NetworkServiceDescriptor d = make_network_service(sample_request(), 2);
+  d.placement_cu = "edge";
+  const json::Value wire = d.to_json();
+  const NetworkServiceDescriptor back =
+      NetworkServiceDescriptor::from_json(wire);
+  EXPECT_EQ(back, d);
+  // Stable through textual serialization too (REST payload).
+  const NetworkServiceDescriptor back2 =
+      NetworkServiceDescriptor::from_json(json::parse(wire.dump(2)));
+  EXPECT_EQ(back2, d);
+}
+
+TEST(Descriptor, FromJsonRejectsMissingFields) {
+  json::Object o;
+  o["name"] = "x";
+  EXPECT_THROW(NetworkServiceDescriptor::from_json(json::Value(std::move(o))),
+               json::JsonError);
+}
+
+}  // namespace
+}  // namespace ovnes::nbi

@@ -1,0 +1,94 @@
+// Tests for the slice service model: Table 1 templates, penalty calibration
+// K = m·R/Λ, and revenue/violation bookkeeping.
+#include <gtest/gtest.h>
+
+#include "slice/slice.hpp"
+
+namespace ovnes::slice {
+namespace {
+
+TEST(Template, Table1Embb) {
+  const SliceTemplate t = standard_template(SliceType::eMBB);
+  EXPECT_DOUBLE_EQ(t.reward, 1.0);
+  EXPECT_DOUBLE_EQ(t.delay_budget, 30000.0);
+  EXPECT_DOUBLE_EQ(t.sla_rate, 50.0);
+  EXPECT_DOUBLE_EQ(t.service.baseline, 0.0);
+  EXPECT_DOUBLE_EQ(t.service.cores_per_mbps, 0.0);
+}
+
+TEST(Template, Table1Mmtc) {
+  const SliceTemplate t = standard_template(SliceType::mMTC);
+  EXPECT_DOUBLE_EQ(t.reward, 3.0);  // (1 + b), b = 2
+  EXPECT_DOUBLE_EQ(t.delay_budget, 30000.0);
+  EXPECT_DOUBLE_EQ(t.sla_rate, 10.0);
+  EXPECT_DOUBLE_EQ(t.service.cores_per_mbps, 2.0);
+}
+
+TEST(Template, Table1Urllc) {
+  const SliceTemplate t = standard_template(SliceType::uRLLC);
+  EXPECT_DOUBLE_EQ(t.reward, 2.2);  // (2 + b), b = 0.2
+  EXPECT_DOUBLE_EQ(t.delay_budget, 5000.0);  // 5 ms
+  EXPECT_DOUBLE_EQ(t.sla_rate, 25.0);
+  EXPECT_DOUBLE_EQ(t.service.cores_per_mbps, 0.2);
+}
+
+TEST(Template, MmtcIsMostComputeHungry) {
+  // §4.3.1 sizes the edge CU so ONE mMTC tenant at max load fills it:
+  // per-BS compute at Λ is b·Λ = 20 cores, the largest of the three types.
+  const auto load_at_sla = [](SliceType s) {
+    const SliceTemplate t = standard_template(s);
+    return t.service.baseline + t.service.cores_per_mbps * t.sla_rate;
+  };
+  EXPECT_DOUBLE_EQ(load_at_sla(SliceType::mMTC), 20.0);
+  EXPECT_GT(load_at_sla(SliceType::mMTC), load_at_sla(SliceType::uRLLC));
+  EXPECT_GT(load_at_sla(SliceType::uRLLC), load_at_sla(SliceType::eMBB));
+}
+
+TEST(SliceType, StringRoundTrip) {
+  for (SliceType s : {SliceType::eMBB, SliceType::mMTC, SliceType::uRLLC}) {
+    EXPECT_EQ(slice_type_from_string(to_string(s)), s);
+  }
+  EXPECT_THROW((void)slice_type_from_string("bogus"), std::invalid_argument);
+}
+
+TEST(SliceRequest, PenaltyCalibration) {
+  // §4.3.2: K = m·R/Λ so that with m = 1, failing to serve 10% of the SLA
+  // for an epoch costs 10% of the reward.
+  SliceRequest req;
+  req.tmpl = standard_template(SliceType::eMBB);
+  req.penalty_factor = 1.0;
+  const Money k = req.penalty_rate();
+  const double shortfall = 0.1 * req.tmpl.sla_rate;
+  EXPECT_NEAR(k * shortfall, 0.1 * req.tmpl.reward, 1e-12);
+  req.penalty_factor = 4.0;
+  EXPECT_NEAR(req.penalty_rate() * shortfall, 0.4 * req.tmpl.reward, 1e-12);
+}
+
+TEST(RevenueLedger, RewardsAndPenalties) {
+  RevenueLedger led;
+  led.add_reward(3.0);
+  led.add_reward(3.0);
+  EXPECT_DOUBLE_EQ(led.total_reward(), 6.0);
+  EXPECT_EQ(led.slice_epochs(), 2u);
+
+  // Demand within reservation: no penalty.
+  led.add_sample(/*demand=*/10.0, /*reserved=*/15.0, /*K=*/0.1);
+  EXPECT_EQ(led.violations(), 0u);
+  // Shortfall of 5 at K=0.1 -> penalty 0.5.
+  led.add_sample(20.0, 15.0, 0.1);
+  EXPECT_EQ(led.violations(), 1u);
+  EXPECT_DOUBLE_EQ(led.total_penalty(), 0.5);
+  EXPECT_DOUBLE_EQ(led.net_revenue(), 5.5);
+  EXPECT_DOUBLE_EQ(led.violation_probability(), 0.5);
+  EXPECT_DOUBLE_EQ(led.max_drop_fraction(), 0.25);  // 5/20
+}
+
+TEST(RevenueLedger, EmptyIsZero) {
+  const RevenueLedger led;
+  EXPECT_DOUBLE_EQ(led.violation_probability(), 0.0);
+  EXPECT_DOUBLE_EQ(led.net_revenue(), 0.0);
+  EXPECT_DOUBLE_EQ(led.max_drop_fraction(), 0.0);
+}
+
+}  // namespace
+}  // namespace ovnes::slice

@@ -1,0 +1,284 @@
+// Unit tests for the topology substrate: graph invariants, the delay model
+// of §4.3.1 (footnote 11), Dijkstra/Yen path computation, the path catalog,
+// and the statistical properties of the operator generators that Fig. 4
+// relies on.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "topo/generators.hpp"
+#include "topo/graph.hpp"
+#include "topo/paths.hpp"
+#include "topo/topology.hpp"
+
+namespace ovnes::topo {
+namespace {
+
+// -------------------------------------------------------------------- Graph
+
+TEST(Graph, AddNodesAndLinks) {
+  Graph g;
+  const NodeId a = g.add_node(NodeKind::BaseStation, 0, 0, "a");
+  const NodeId b = g.add_node(NodeKind::Switch, 3, 4, "b");
+  const LinkId l = g.add_link(a, b, 1000.0, LinkTech::Fiber);
+  EXPECT_EQ(g.num_nodes(), 2u);
+  EXPECT_EQ(g.num_links(), 1u);
+  EXPECT_DOUBLE_EQ(g.link(l).length, 5.0);  // 3-4-5 triangle
+  ASSERT_EQ(g.adjacency(a).size(), 1u);
+  EXPECT_EQ(g.adjacency(a)[0].neighbor, b);
+  EXPECT_EQ(g.adjacency(b)[0].neighbor, a);
+}
+
+TEST(Graph, RejectsBadLinks) {
+  Graph g;
+  const NodeId a = g.add_node(NodeKind::Switch);
+  const NodeId b = g.add_node(NodeKind::Switch);
+  EXPECT_THROW(g.add_link(a, a, 100.0, LinkTech::Fiber), std::invalid_argument);
+  EXPECT_THROW(g.add_link(a, b, 0.0, LinkTech::Fiber), std::invalid_argument);
+  EXPECT_THROW(g.add_link(a, NodeId(9), 1.0, LinkTech::Fiber), std::out_of_range);
+}
+
+TEST(Graph, DelayModelMatchesFootnote11) {
+  Graph g;
+  const NodeId a = g.add_node(NodeKind::Switch, 0, 0);
+  const NodeId b = g.add_node(NodeKind::Switch, 10, 0);
+  // Cable: 12000/C + 4 µs/km · 10 km + 5 µs processing.
+  const LinkId fiber = g.add_link(a, b, 1000.0, LinkTech::Fiber);
+  EXPECT_DOUBLE_EQ(g.link_delay_us(fiber), 12000.0 / 1000.0 + 40.0 + 5.0);
+  // Wireless: 5 µs/km.
+  const LinkId radio = g.add_link(a, b, 500.0, LinkTech::Wireless);
+  EXPECT_DOUBLE_EQ(g.link_delay_us(radio), 12000.0 / 500.0 + 50.0 + 5.0);
+  // Emulated WAN latency adds on top (e.g. the 20 ms core link).
+  const LinkId wan = g.add_link(a, b, 1e7, LinkTech::Virtual, 0.0, 1.0, 20000.0);
+  EXPECT_NEAR(g.link_delay_us(wan), 20000.0 + 12000.0 / 1e7 + 5.0, 1e-9);
+}
+
+// -------------------------------------------------------------------- Paths
+
+Graph diamond(LinkId* fast_out = nullptr) {
+  // a - b - d (fast) and a - c - d (slow, long detour)
+  Graph g;
+  const NodeId a = g.add_node(NodeKind::Switch, 0, 0);
+  const NodeId b = g.add_node(NodeKind::Switch, 1, 1);
+  const NodeId c = g.add_node(NodeKind::Switch, 1, -5);
+  const NodeId d = g.add_node(NodeKind::Switch, 2, 0);
+  const LinkId f1 = g.add_link(a, b, 10000.0, LinkTech::Fiber);
+  g.add_link(b, d, 10000.0, LinkTech::Fiber);
+  g.add_link(a, c, 1000.0, LinkTech::Fiber);
+  g.add_link(c, d, 1000.0, LinkTech::Fiber);
+  if (fast_out) *fast_out = f1;
+  return g;
+}
+
+TEST(ShortestPath, PicksLowDelayRoute) {
+  Graph g = diamond();
+  const auto p = shortest_path(g, NodeId(0), NodeId(3));
+  ASSERT_TRUE(p.has_value());
+  ASSERT_EQ(p->nodes.size(), 3u);
+  EXPECT_EQ(p->nodes[1], NodeId(1));  // via b
+  EXPECT_DOUBLE_EQ(p->bottleneck, 10000.0);
+  EXPECT_GT(p->delay, 0.0);
+}
+
+TEST(ShortestPath, RespectsBans) {
+  LinkId fast;
+  Graph g = diamond(&fast);
+  std::vector<bool> banned_links(g.num_links(), false);
+  banned_links[fast.index()] = true;
+  const auto p = shortest_path(g, NodeId(0), NodeId(3), &banned_links);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->nodes[1], NodeId(2));  // forced via c
+}
+
+TEST(ShortestPath, UnreachableReturnsEmpty) {
+  Graph g;
+  g.add_node(NodeKind::Switch);
+  g.add_node(NodeKind::Switch);
+  EXPECT_FALSE(shortest_path(g, NodeId(0), NodeId(1)).has_value());
+}
+
+TEST(ShortestPath, TrivialSourceEqualsDestination) {
+  Graph g;
+  const NodeId a = g.add_node(NodeKind::Switch);
+  const auto p = shortest_path(g, a, a);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_TRUE(p->links.empty());
+  EXPECT_DOUBLE_EQ(p->delay, 0.0);
+}
+
+TEST(KShortestPaths, EnumeratesDistinctLooplessPaths) {
+  Graph g = diamond();
+  const auto paths = k_shortest_paths(g, NodeId(0), NodeId(3), 5);
+  ASSERT_EQ(paths.size(), 2u);  // only two simple routes exist
+  EXPECT_LE(paths[0].delay, paths[1].delay);
+  EXPECT_NE(paths[0].links, paths[1].links);
+  for (const NodePath& p : paths) {
+    std::set<std::uint32_t> seen;
+    for (NodeId n : p.nodes) EXPECT_TRUE(seen.insert(n.value()).second);
+  }
+}
+
+TEST(KShortestPaths, SortedByDelayOnMesh) {
+  // 3x3 grid: many alternative routes.
+  Graph g;
+  std::vector<NodeId> n;
+  for (int y = 0; y < 3; ++y) {
+    for (int x = 0; x < 3; ++x) {
+      n.push_back(g.add_node(NodeKind::Switch, x, y));
+    }
+  }
+  for (int y = 0; y < 3; ++y) {
+    for (int x = 0; x < 3; ++x) {
+      if (x < 2) g.add_link(n[static_cast<size_t>(y * 3 + x)], n[static_cast<size_t>(y * 3 + x + 1)], 1000, LinkTech::Fiber);
+      if (y < 2) g.add_link(n[static_cast<size_t>(y * 3 + x)], n[static_cast<size_t>(y * 3 + x + 3)], 1000, LinkTech::Fiber);
+    }
+  }
+  const auto paths = k_shortest_paths(g, n[0], n[8], 6);
+  ASSERT_EQ(paths.size(), 6u);
+  for (std::size_t i = 1; i < paths.size(); ++i) {
+    EXPECT_GE(paths[i].delay, paths[i - 1].delay - 1e-9);
+  }
+  // All distinct.
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    for (std::size_t j = i + 1; j < paths.size(); ++j) {
+      EXPECT_NE(paths[i].links, paths[j].links);
+    }
+  }
+}
+
+// ----------------------------------------------------------------- Topology
+
+TEST(Topology, AddBsRequiresBsNode) {
+  Topology t;
+  const NodeId sw = t.graph.add_node(NodeKind::Switch);
+  EXPECT_THROW(t.add_bs(sw, 100.0), std::invalid_argument);
+  EXPECT_THROW(t.add_cu(sw, 16.0, true), std::invalid_argument);
+}
+
+TEST(PathCatalog, MiniTopologyHasOnePathPerPair) {
+  const Topology t = make_mini(3, 16.0, 64.0);
+  const PathCatalog cat(t, 4);
+  EXPECT_EQ(t.num_bs(), 3u);
+  EXPECT_EQ(t.num_cu(), 2u);
+  for (std::size_t b = 0; b < t.num_bs(); ++b) {
+    for (std::size_t c = 0; c < t.num_cu(); ++c) {
+      const auto& paths = cat.paths(BsId(static_cast<std::uint32_t>(b)),
+                                    CuId(static_cast<std::uint32_t>(c)));
+      ASSERT_EQ(paths.size(), 1u);  // star topology: unique route
+      EXPECT_EQ(paths[0].bs.index(), b);
+      EXPECT_EQ(paths[0].cu.index(), c);
+    }
+  }
+  EXPECT_DOUBLE_EQ(cat.mean_paths_per_pair(), 1.0);
+  EXPECT_EQ(cat.all().size(), 6u);
+}
+
+TEST(PathCatalog, CoreCuPathsCarryTheWanDelay) {
+  const Topology t = make_mini(2, 16.0, 64.0, /*core_delay_us=*/20000.0);
+  const PathCatalog cat(t, 2);
+  const auto& to_edge = cat.paths(BsId(0), CuId(0));
+  const auto& to_core = cat.paths(BsId(0), CuId(1));
+  ASSERT_FALSE(to_edge.empty());
+  ASSERT_FALSE(to_core.empty());
+  EXPECT_LT(to_edge[0].delay, 5000.0);   // local: well under 5 ms
+  EXPECT_GT(to_core[0].delay, 20000.0);  // behind the emulated WAN
+}
+
+// --------------------------------------------------------------- Generators
+
+TEST(Generators, TestbedMatchesTable2) {
+  const Topology t = make_testbed();
+  ASSERT_EQ(t.num_bs(), 2u);
+  ASSERT_EQ(t.num_cu(), 2u);
+  EXPECT_DOUBLE_EQ(t.bs(BsId(0)).capacity, 100.0);  // 20 MHz = 100 PRBs
+  EXPECT_DOUBLE_EQ(t.cu(CuId(0)).capacity, 16.0);
+  EXPECT_DOUBLE_EQ(t.cu(CuId(1)).capacity, 64.0);
+  EXPECT_TRUE(t.cu(CuId(0)).is_edge);
+  // All transport links are 1 Gb/s.
+  for (const Link& l : t.graph.links()) EXPECT_DOUBLE_EQ(l.capacity, 1000.0);
+  // The core CU sits behind the emulated 30 ms link.
+  const PathCatalog cat(t, 2);
+  // Behind the emulated WAN (29 ms, see generators.cpp): within the 30 ms
+  // mMTC budget but far beyond uRLLC's 5 ms.
+  EXPECT_GT(cat.paths(BsId(0), CuId(1)).front().delay, 29000.0);
+  EXPECT_LT(cat.paths(BsId(0), CuId(1)).front().delay, 30000.0);
+  EXPECT_LT(cat.paths(BsId(0), CuId(0)).front().delay, 1000.0);
+}
+
+TEST(Generators, ComputeSizingRule) {
+  // §4.3.1: edge CU = 20·N cores, core = 5×.
+  for (const char* name : {"romanian", "swiss", "italian"}) {
+    const Topology t = make_operator(name, {0.05, 7});
+    const double n = static_cast<double>(t.num_bs());
+    EXPECT_DOUBLE_EQ(t.cu(CuId(0)).capacity, 20.0 * n) << name;
+    EXPECT_DOUBLE_EQ(t.cu(CuId(1)).capacity, 100.0 * n) << name;
+  }
+}
+
+TEST(Generators, RomanianHasMorePathDiversityThanItalian) {
+  const GeneratorConfig cfg{0.08, 3};
+  const Topology ro = make_romanian(cfg);
+  const Topology it = make_italian(cfg);
+  const PathCatalog cat_ro(ro, 8);
+  const PathCatalog cat_it(it, 8);
+  // Fig. 4: N1 mean 6.6 paths vs N3 mean 1.6. Exact values depend on the
+  // seed; the ordering and rough magnitudes must hold.
+  EXPECT_GT(cat_ro.mean_paths_per_pair(), 3.0);
+  EXPECT_LT(cat_it.mean_paths_per_pair(), 3.0);
+  EXPECT_GT(cat_ro.mean_paths_per_pair(), 1.5 * cat_it.mean_paths_per_pair());
+}
+
+TEST(Generators, ItalianHasBiggerRadioAndFiberOnly) {
+  const Topology it = make_italian({0.05, 11});
+  for (const BaseStation& bs : it.base_stations()) {
+    EXPECT_GE(bs.capacity, 400.0);  // 80-100 MHz clusters
+    EXPECT_LE(bs.capacity, 500.0);
+  }
+  for (const Link& l : it.graph.links()) {
+    if (l.tech == LinkTech::Virtual) continue;  // core WAN link
+    EXPECT_EQ(l.tech, LinkTech::Fiber);
+  }
+}
+
+TEST(Generators, SwissBackhaulIsWirelessAndConstrained) {
+  const Topology sw = make_swiss({0.05, 11});
+  double max_cap = 0.0;
+  for (const Link& l : sw.graph.links()) {
+    if (l.tech == LinkTech::Virtual) continue;
+    EXPECT_EQ(l.tech, LinkTech::Wireless);
+    max_cap = std::max(max_cap, l.capacity);
+  }
+  EXPECT_LE(max_cap, 4000.0);  // low-capacity wireless (≤ 4 Gb/s)
+}
+
+TEST(Generators, EveryBsReachesBothCusWithinBudget) {
+  for (const char* name : {"romanian", "swiss", "italian"}) {
+    const Topology t = make_operator(name, {0.05, 5});
+    const PathCatalog cat(t, 4);
+    for (std::size_t b = 0; b < t.num_bs(); ++b) {
+      for (std::size_t c = 0; c < t.num_cu(); ++c) {
+        EXPECT_FALSE(cat.paths(BsId(static_cast<std::uint32_t>(b)),
+                               CuId(static_cast<std::uint32_t>(c))).empty())
+            << name << " bs" << b << " cu" << c;
+      }
+    }
+  }
+}
+
+TEST(Generators, DeterministicForFixedSeed) {
+  const Topology a = make_romanian({0.05, 42});
+  const Topology b = make_romanian({0.05, 42});
+  ASSERT_EQ(a.graph.num_links(), b.graph.num_links());
+  for (std::size_t i = 0; i < a.graph.num_links(); ++i) {
+    EXPECT_DOUBLE_EQ(a.graph.links()[i].capacity, b.graph.links()[i].capacity);
+  }
+}
+
+TEST(Generators, ScaleValidation) {
+  EXPECT_THROW(make_romanian({0.0, 1}), std::invalid_argument);
+  EXPECT_THROW(make_romanian({1.5, 1}), std::invalid_argument);
+  EXPECT_THROW(make_operator("atlantis", {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ovnes::topo

@@ -1,0 +1,124 @@
+// Tests for the traffic models of §4.3.2 / §5.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "traffic/demand.hpp"
+
+namespace ovnes::traffic {
+namespace {
+
+TEST(GaussianDemand, MomentsMatch) {
+  GaussianDemand d(20.0, 5.0);
+  RngStream rng(1);
+  RunningStats s;
+  for (std::size_t i = 0; i < 20000; ++i) s.add(d.sample(i, rng));
+  EXPECT_NEAR(s.mean(), 20.0, 0.2);
+  EXPECT_NEAR(s.stddev(), 5.0, 0.2);
+  EXPECT_GE(s.min(), 0.0);  // truncated at zero
+  EXPECT_DOUBLE_EQ(d.mean(), 20.0);
+  EXPECT_DOUBLE_EQ(d.stddev(), 5.0);
+}
+
+TEST(GaussianDemand, SigmaZeroIsDeterministic) {
+  // The mMTC template: σ = 0 (§4.3.2).
+  GaussianDemand d(10.0, 0.0);
+  RngStream rng(2);
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(d.sample(i, rng), 10.0);
+}
+
+TEST(GaussianDemand, Validation) {
+  EXPECT_THROW(GaussianDemand(-1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(GaussianDemand(1.0, -1.0), std::invalid_argument);
+}
+
+TEST(ConstantDemand, AlwaysSame) {
+  ConstantDemand d(7.5);
+  RngStream rng(3);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(d.sample(i, rng), 7.5);
+  EXPECT_DOUBLE_EQ(d.stddev(), 0.0);
+}
+
+TEST(DiurnalDemand, PeaksAndTroughs) {
+  // depth 0.8: trough = 0.2·peak. phase 0 puts the trough at t=0.
+  DiurnalDemand d(100.0, 0.8, 24, 0.0);
+  RngStream rng(4);
+  const double trough = d.sample(0, rng);
+  const double peak = d.sample(12, rng);  // half a day later
+  EXPECT_NEAR(trough, 20.0, 1e-9);
+  EXPECT_NEAR(peak, 100.0, 1e-9);
+}
+
+TEST(DiurnalDemand, PeriodicityMatchesSamplesPerDay) {
+  DiurnalDemand d(50.0, 0.5, 48, 0.0);
+  RngStream rng(5);
+  for (std::size_t i = 0; i < 48; ++i) {
+    const double a = d.sample(i, rng);
+    const double b = d.sample(i + 48, rng);
+    EXPECT_NEAR(a, b, 1e-9);
+  }
+}
+
+TEST(DiurnalDemand, MeanAccountsForDepth) {
+  DiurnalDemand d(100.0, 0.6, 24, 0.0);
+  RngStream rng(6);
+  RunningStats s;
+  for (std::size_t i = 0; i < 24 * 50; ++i) s.add(d.sample(i, rng));
+  EXPECT_NEAR(s.mean(), d.mean(), 1.0);
+  EXPECT_NEAR(s.stddev(), d.stddev(), 2.0);
+}
+
+TEST(DiurnalDemand, Validation) {
+  EXPECT_THROW(DiurnalDemand(10.0, 1.5, 24, 0.0), std::invalid_argument);
+  EXPECT_THROW(DiurnalDemand(10.0, 0.5, 1, 0.0), std::invalid_argument);
+}
+
+TEST(OnOffDemand, StationaryMean) {
+  // p_on = 0.25 stationary: mean = 0.25·high + 0.75·low.
+  OnOffDemand d(10.0, 90.0, 0.3, 0.1);
+  RngStream rng(7);
+  RunningStats s;
+  for (std::size_t i = 0; i < 50000; ++i) s.add(d.sample(i, rng));
+  EXPECT_NEAR(s.mean(), d.mean(), 1.5);
+  EXPECT_NEAR(d.mean(), 30.0, 1e-9);
+  EXPECT_NEAR(s.stddev(), d.stddev(), 2.0);
+}
+
+TEST(OnOffDemand, OnlyTwoLevels) {
+  OnOffDemand d(5.0, 50.0, 0.5, 0.5);
+  RngStream rng(8);
+  for (std::size_t i = 0; i < 200; ++i) {
+    const double v = d.sample(i, rng);
+    EXPECT_TRUE(v == 5.0 || v == 50.0);
+  }
+}
+
+TEST(OnOffDemand, Validation) {
+  EXPECT_THROW(OnOffDemand(10.0, 5.0, 0.1, 0.1), std::invalid_argument);
+  EXPECT_THROW(OnOffDemand(1.0, 5.0, 1.5, 0.1), std::invalid_argument);
+}
+
+TEST(ExpectedMaxGaussian, KnownValues) {
+  EXPECT_DOUBLE_EQ(expected_max_gaussian(1), 0.0);
+  EXPECT_NEAR(expected_max_gaussian(2), 0.5642, 1e-3);
+  EXPECT_NEAR(expected_max_gaussian(12), 1.6292, 1e-3);
+  // Monotone increasing.
+  for (std::size_t n = 2; n < 64; ++n) {
+    EXPECT_GT(expected_max_gaussian(n), expected_max_gaussian(n - 1) - 1e-6);
+  }
+}
+
+TEST(ExpectedMaxGaussian, MatchesMonteCarlo) {
+  // Validate the κ=12 factor used to relate mean demand to epoch peaks.
+  RngStream rng(11);
+  RunningStats peak;
+  for (int rep = 0; rep < 4000; ++rep) {
+    double mx = -1e9;
+    for (int i = 0; i < 12; ++i) mx = std::max(mx, rng.gaussian(0.0, 1.0));
+    peak.add(mx);
+  }
+  EXPECT_NEAR(peak.mean(), expected_max_gaussian(12), 0.03);
+}
+
+}  // namespace
+}  // namespace ovnes::traffic
