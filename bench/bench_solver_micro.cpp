@@ -44,6 +44,50 @@ void BM_SimplexSolve(benchmark::State& state) {
 }
 BENCHMARK(BM_SimplexSolve)->Arg(16)->Arg(64)->Arg(256);
 
+// Benders-master shape: solve an LP, append a cut violated at the optimum,
+// re-solve — either cold from scratch or warm from the previous basis. The
+// `simplex_iters` counter is the total pivot count across the loop; warm
+// re-solves must beat cold ones on it (tier-1 acceptance for the
+// warm-start work).
+void master_resolve_loop(benchmark::State& state, bool warm_start) {
+  const int n = 48;
+  long iters = 0;
+  for (auto _ : state) {
+    LpModel m = random_lp(n, 24, 11);
+    RngStream rng(5);
+    iters = 0;
+    LpResult r = solve_lp(m);
+    iters += r.iterations;
+    Basis basis = r.basis;
+    for (int k = 0; k < 12 && r.status == LpStatus::Optimal; ++k) {
+      std::vector<Coef> coefs;
+      double lhs = 0.0;
+      for (int j = 0; j < n; ++j) {
+        const double a = rng.uniform(0.1, 1.0);
+        coefs.push_back({j, a});
+        lhs += a * r.x[static_cast<size_t>(j)];
+      }
+      m.add_row("cut" + std::to_string(k), RowSense::LessEq, 0.8 * lhs,
+                std::move(coefs));
+      r = solve_lp(m, {}, warm_start && !basis.empty() ? &basis : nullptr);
+      iters += r.iterations;
+      basis = r.basis;
+    }
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["simplex_iters"] = static_cast<double>(iters);
+}
+
+void BM_MasterResolveCold(benchmark::State& state) {
+  master_resolve_loop(state, false);
+}
+BENCHMARK(BM_MasterResolveCold);
+
+void BM_MasterResolveWarm(benchmark::State& state) {
+  master_resolve_loop(state, true);
+}
+BENCHMARK(BM_MasterResolveWarm);
+
 void BM_MilpKnapsack(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   RngStream rng(7);
@@ -109,6 +153,19 @@ void BM_BendersFull(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BendersFull)->Arg(5)->Arg(10)->Unit(benchmark::kMillisecond);
+
+void BM_BendersFullColdStart(benchmark::State& state) {
+  const topo::Topology topo = topo::make_romanian({0.03, 9});
+  const topo::PathCatalog catalog(topo, 2);
+  const acrr::AcrrInstance inst =
+      make_instance(topo, catalog, static_cast<std::size_t>(state.range(0)));
+  acrr::BendersOptions opts;
+  opts.warm_start = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(acrr::solve_benders(inst, opts));
+  }
+}
+BENCHMARK(BM_BendersFullColdStart)->Arg(5)->Arg(10)->Unit(benchmark::kMillisecond);
 
 void BM_KacFull(benchmark::State& state) {
   const topo::Topology topo = topo::make_romanian({0.03, 9});

@@ -241,12 +241,23 @@ AdmissionResult solve_benders(const AcrrInstance& inst,
   double best_deficit = 0.0;
   int iter = 0;
 
+  // Root basis of the previous master solve: after appending one cut row
+  // the next master's root LP re-solves from it with a short repair instead
+  // of a cold Phase 1.
+  Basis master_basis;
+
   for (; iter < opts.max_iterations; ++iter) {
     MilpOptions mopts = opts.master;
     mopts.time_limit_sec =
         std::min(mopts.time_limit_sec, opts.time_limit_sec - elapsed());
     if (mopts.time_limit_sec <= 0.0) break;
+    if (opts.warm_start && !master_basis.empty()) {
+      mopts.warm_start = &master_basis;
+    }
     const MilpResult mr = solve_milp(master.lp, mopts);
+    if (opts.warm_start && !mr.root_basis.empty()) {
+      master_basis = mr.root_basis;
+    }
     if (mr.status == MilpStatus::Infeasible) {
       // Structurally infeasible master (e.g. conflicting pinned slices
       // without the §3.4 relaxation): report an empty admission.
@@ -260,7 +271,7 @@ AdmissionResult solve_benders(const AcrrInstance& inst,
     lb = std::max(lb, mr.best_bound);
 
     const std::vector<char> active = detail::extract_active(master, mr.x);
-    const SlaveResult sr = slave.solve(active, deficit);
+    const SlaveResult sr = slave.solve(active, deficit, opts.warm_start);
 
     if (sr.feasible) {
       // Γ = first-stage cost at x̄ + slave optimum (Algorithm 1, line 12).
@@ -286,6 +297,11 @@ AdmissionResult solve_benders(const AcrrInstance& inst,
       master.lp.add_row("optcut" + std::to_string(iter), RowSense::LessEq,
                         -sr.cut.constant, std::move(coefs));
     } else {
+      // A vacuous cut (no coefficients, non-positive constant) cannot
+      // exclude anything: the slave failed without a certificate
+      // (IterationLimit), so re-solving the unchanged master would spin
+      // until the budget runs out. Stop with the current incumbent.
+      if (sr.cut.coefs.empty() && sr.cut.constant <= 0.0) break;
       // Feasibility cut (22): const + Σ coef·x <= 0.
       std::vector<Coef> coefs;
       for (const auto& [j, c] : sr.cut.coefs) {

@@ -33,7 +33,7 @@ double cores_per_mbps(const AcrrInstance& inst, const VarInfo& v) {
 }  // namespace
 
 SlaveResult SlaveProblem::solve(const std::vector<char>& x_active,
-                                bool allow_deficit) const {
+                                bool allow_deficit, bool reuse_basis) const {
   using namespace ovnes::solver;
   const AcrrInstance& inst = *inst_;
   const auto& vars = inst.vars();
@@ -128,13 +128,32 @@ SlaveResult SlaveProblem::solve(const std::vector<char>& x_active,
     row_refs.push_back({RowKind::Radio, b.value(), topo.bs(b).capacity});
   }
 
-  const LpResult lr = solve_lp(lp);
+  const Basis* warm = nullptr;
+  if (reuse_basis && !warm_basis_.empty() && warm_deficit_ == allow_deficit &&
+      warm_active_ == x_active) {
+    warm = &warm_basis_;
+  }
+  const LpResult lr = solve_lp(lp, {}, warm);
+  if (reuse_basis && lr.status == LpStatus::Optimal && !lr.basis.empty()) {
+    warm_basis_ = lr.basis;
+    warm_active_ = x_active;
+    warm_deficit_ = allow_deficit;
+  } else if (reuse_basis) {
+    warm_basis_ = {};
+  }
   SlaveResult out;
   out.z.assign(vars.size(), 0.0);
 
   // ---- Assemble dual prices µ >= 0 per resource (zero for untouched
-  // rows), from either the optimal duals or the Farkas ray.
+  // rows), from either the optimal duals or the Farkas ray. Any other
+  // outcome (IterationLimit; Unbounded is impossible for the box-bounded
+  // slave) carries neither certificate, so report infeasible with an empty
+  // cut rather than price from a vector that was never populated.
   const bool feasible = lr.status == LpStatus::Optimal;
+  if (!feasible && lr.status != LpStatus::Infeasible) {
+    out.feasible = false;
+    return out;
+  }
   const std::vector<double>& dual_src =
       feasible ? lr.row_duals : lr.farkas_ray;
   std::map<std::uint32_t, double> mu_cu, mu_link, mu_bs;

@@ -16,6 +16,7 @@
 
 #include "acrr/instance.hpp"
 #include "solver/lp_model.hpp"
+#include "solver/simplex.hpp"
 
 namespace ovnes::acrr {
 
@@ -44,12 +45,23 @@ class SlaveProblem {
 
   /// Solve P_S(x̄). `x_active[j]` marks variable j active. When
   /// `allow_deficit` the §3.4 aggregate deficit variables δr/δb/δc are
-  /// added (the slave is then always feasible).
+  /// added (the slave is then always feasible). With `reuse_basis` the
+  /// optimal basis of the previous call is cached and re-used whenever the
+  /// master proposes an activation vector seen on the previous iteration
+  /// (the LP is then identical and Phase 1 is skipped outright).
   [[nodiscard]] SlaveResult solve(const std::vector<char>& x_active,
-                                  bool allow_deficit) const;
+                                  bool allow_deficit,
+                                  bool reuse_basis = true) const;
 
  private:
   const AcrrInstance* inst_;
+  // Warm-start cache for repeated activation vectors. Mutable: the slave
+  // stays logically const per call; note this makes concurrent solve()
+  // calls on ONE SlaveProblem racy — use distinct instances per thread
+  // (solve_benders already does).
+  mutable solver::Basis warm_basis_;
+  mutable std::vector<char> warm_active_;
+  mutable bool warm_deficit_ = false;
 };
 
 }  // namespace ovnes::acrr

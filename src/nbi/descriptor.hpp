@@ -10,6 +10,16 @@
 // calls replace it, see DESIGN.md).
 #pragma once
 
+// NetworkServiceDescriptor below relies on C++20 defaulted comparisons
+// (`operator== = default` on an aggregate with std::vector members, P1185).
+// Under -std=c++17 that fails deep inside a template wall; fail fast with a
+// readable diagnostic instead. CMake pins cxx_std_20 — this guard is for
+// out-of-tree builds.
+#if !defined(__cpp_impl_three_way_comparison) || \
+    __cpp_impl_three_way_comparison < 201907L
+#error "ovnes requires C++20 (defaulted operator==): compile with -std=c++20 or newer"
+#endif
+
 #include <string>
 #include <vector>
 

@@ -32,6 +32,10 @@ struct Node {
   std::vector<std::tuple<int, double, double>> fixes;
   double parent_bound = -kInf;  ///< LP bound of the parent (for pruning)
   int depth = 0;
+  /// Parent's optimal LP basis: after branching only the branched variable
+  /// is pushed out of bounds, so the child LP re-solves from here with a
+  /// one-artificial repair instead of a full Phase 1.
+  Basis warm;
 };
 
 class BranchAndBound {
@@ -46,7 +50,9 @@ class BranchAndBound {
     std::vector<double> best_x;
     if (opts_.dive_heuristic) dive(incumbent, best_x, res);
     std::vector<Node> stack;
-    stack.push_back(Node{});
+    Node root;
+    if (opts_.warm_start != nullptr) root.warm = *opts_.warm_start;
+    stack.push_back(std::move(root));
     // Track the minimum over open nodes' parent bounds for best_bound.
     double root_bound = -kInf;
     bool root_solved = false;
@@ -69,7 +75,8 @@ class BranchAndBound {
       LpModel work = base_;
       for (const auto& [var, lo, hi] : node.fixes) work.set_bounds(var, lo, hi);
 
-      const LpResult lp = solve_lp(work, opts_.lp);
+      const LpResult lp =
+          solve_lp(work, opts_.lp, node.warm.empty() ? nullptr : &node.warm);
       res.lp_iterations += lp.iterations;
       if (lp.status == LpStatus::Infeasible) continue;
       if (lp.status != LpStatus::Optimal) {
@@ -85,6 +92,7 @@ class BranchAndBound {
       if (!root_solved) {
         root_bound = lp.objective;
         root_solved = true;
+        res.root_basis = lp.basis;
       }
       if (lp.objective >= incumbent - absolute_gap(incumbent)) continue;
 
@@ -126,11 +134,14 @@ class BranchAndBound {
       // Branch. Explore the "nearest" side first: DFS pops from the back,
       // so push the preferred child last.
       const double v = lp.x[static_cast<size_t>(frac)];
+      node.warm = Basis{};  // superseded by lp.basis; don't copy it twice below
       Node down = node, up = node;
       down.fixes.emplace_back(frac, base_.variable(frac).lower, std::floor(v));
       up.fixes.emplace_back(frac, std::ceil(v), base_.variable(frac).upper);
       down.parent_bound = up.parent_bound = lp.objective;
       down.depth = up.depth = node.depth + 1;
+      down.warm = lp.basis;
+      up.warm = lp.basis;
       if (v - std::floor(v) <= 0.5) {
         stack.push_back(std::move(up));
         stack.push_back(std::move(down));
@@ -168,8 +179,10 @@ class BranchAndBound {
   /// integral feasible point (the initial incumbent) or dead-ends.
   void dive(double& incumbent, std::vector<double>& best_x, MilpResult& res) {
     LpModel work = base_;
+    Basis warm;
+    if (opts_.warm_start != nullptr) warm = *opts_.warm_start;
     for (std::size_t step = 0; step <= int_vars_.size(); ++step) {
-      const LpResult lp = solve_lp(work, opts_.lp);
+      const LpResult lp = solve_lp(work, opts_.lp, warm.empty() ? nullptr : &warm);
       res.lp_iterations += lp.iterations;
       if (lp.status != LpStatus::Optimal) return;  // dead end
       const int frac = pick_branch_var(lp.x);
@@ -187,6 +200,7 @@ class BranchAndBound {
       }
       const double v = std::round(lp.x[static_cast<size_t>(frac)]);
       work.set_bounds(frac, v, v);
+      warm = lp.basis;
     }
   }
 

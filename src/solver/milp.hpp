@@ -38,6 +38,10 @@ struct MilpResult {
   std::vector<double> x;
   long nodes = 0;
   int lp_iterations = 0;
+  /// Basis of the root LP relaxation (empty if the root never solved to
+  /// optimality). Feed it back via MilpOptions::warm_start when re-solving
+  /// the same model with appended rows — the Benders master loop does.
+  Basis root_basis;
   /// (objective - best_bound) / max(1, |objective|); 0 when proved optimal.
   [[nodiscard]] double gap() const;
 };
@@ -51,6 +55,9 @@ struct MilpOptions {
   /// (fix the most fractional integer to its nearest value, re-solve,
   /// repeat). Greatly improves anytime behaviour on packing-style models.
   bool dive_heuristic = true;
+  /// Optional warm basis for the root LP relaxation (not owned; must
+  /// outlive the solve). Child nodes always inherit their parent's basis.
+  const Basis* warm_start = nullptr;
   SimplexOptions lp;
 };
 

@@ -27,48 +27,68 @@ enum class VarStatus : unsigned char { Basic, AtLower, AtUpper };
 /// column space is [structural | slacks | artificials].
 class Simplex {
  public:
-  Simplex(const LpModel& model, const SimplexOptions& opts)
-      : model_(model), opts_(opts),
+  Simplex(const LpModel& model, const SimplexOptions& opts,
+          const Basis* warm = nullptr)
+      : model_(model), opts_(opts), warm_(warm),
         m_(model.num_rows()), n_(model.num_vars()) {
-    build();
+    build_core();
   }
 
   LpResult run() {
     LpResult res;
     if (m_ == 0) return solve_unconstrained();
 
-    // ---- Phase 1: minimize sum of artificials.
-    set_phase1_costs();
-    const LpStatus p1 = iterate(res.iterations);
-    if (p1 == LpStatus::IterationLimit) {
-      res.status = p1;
-      return res;
+    // ---- Warm start: adopt the supplied basis when it factorizes and any
+    // primal infeasibility (appended cut rows, branched bounds) is small
+    // enough to repair with targeted artificials.
+    int warm_swaps = -1;
+    if (warm_ != nullptr && !warm_->empty() && try_warm_basis(*warm_)) {
+      warm_swaps = repair_infeasible_basics();
     }
-    // Phase-1 objective = sum of artificial values, each normalized by its
-    // own row's magnitude. (A single huge-capacity row — e.g. the 1e7 Mb/s
-    // virtual WAN link — must not inflate the tolerance for other rows.)
-    double infeas = 0.0;
-    for (int i = 0; i < m_; ++i) {
-      const int v = basis_[static_cast<size_t>(i)];
-      if (is_artificial(v)) {
-        const double scale = 1.0 + std::abs(b_[static_cast<size_t>(v - n_ - m_)]);
-        infeas += std::abs(xb_[static_cast<size_t>(i)]) / scale;
+    const bool warm_ok = warm_swaps >= 0;
+    if (!warm_ok) install_artificial_basis();
+    res.used_warm_start = warm_ok;
+
+    if (!warm_ok || warm_swaps > 0) {
+      // ---- Phase 1: minimize sum of artificials. From a repaired warm
+      // basis only the swapped-in artificials are positive, so this is a
+      // handful of pivots instead of ~m of them.
+      if (warm_ok) freeze_nonbasic_artificials();
+      set_phase1_costs();
+      const LpStatus p1 = iterate(res.iterations);
+      if (p1 == LpStatus::IterationLimit) {
+        res.status = p1;
+        return res;
       }
-    }
-    if (debug_) {
-      std::fprintf(stderr, "PHASE1 end: status=%d infeas=%g tol=%g\n", (int)p1,
-                   infeas, opts_.feas_tol);
-    }
-    if (infeas > opts_.feas_tol) {
-      res.status = LpStatus::Infeasible;
-      compute_duals();
-      res.farkas_ray.assign(static_cast<size_t>(m_), 0.0);
+      // Phase-1 objective = sum of artificial values, each normalized by its
+      // own row's magnitude. (A single huge-capacity row — e.g. the 1e7 Mb/s
+      // virtual WAN link — must not inflate the tolerance for other rows.)
+      double infeas = 0.0;
       for (int i = 0; i < m_; ++i) {
-        res.farkas_ray[static_cast<size_t>(i)] = -y_[static_cast<size_t>(i)];
+        const int v = basis_[static_cast<size_t>(i)];
+        if (is_artificial(v)) {
+          const double scale = 1.0 + std::abs(b_[static_cast<size_t>(v - n_ - m_)]);
+          infeas += std::abs(xb_[static_cast<size_t>(i)]) / scale;
+        }
       }
-      return res;
+      if (debug_) {
+        std::fprintf(stderr, "PHASE1 end: status=%d infeas=%g tol=%g\n", (int)p1,
+                     infeas, opts_.feas_tol);
+      }
+      if (infeas > opts_.feas_tol) {
+        res.status = LpStatus::Infeasible;
+        compute_duals();
+        res.farkas_ray.assign(static_cast<size_t>(m_), 0.0);
+        for (int i = 0; i < m_; ++i) {
+          res.farkas_ray[static_cast<size_t>(i)] = -y_[static_cast<size_t>(i)];
+        }
+        return res;
+      }
+      drive_out_artificials();
+    } else {
+      // Warm basis already primal feasible: Phase 1 skipped entirely.
+      freeze_nonbasic_artificials();
     }
-    drive_out_artificials();
 
     // ---- Phase 2: original costs; artificials frozen at zero.
     set_phase2_costs();
@@ -120,7 +140,9 @@ class Simplex {
                                                                  : lower(j);
   }
 
-  void build() {
+  /// Bounds, columns, rhs and buffers — everything except the choice of
+  /// starting basis (install_artificial_basis or try_warm_basis).
+  void build_core() {
     const int total = n_ + 2 * m_;
     lb_.resize(static_cast<size_t>(total));
     ub_.resize(static_cast<size_t>(total));
@@ -168,6 +190,31 @@ class Simplex {
       }
     }
 
+    art_sign_.assign(static_cast<size_t>(m_), 1.0);
+    basis_.resize(static_cast<size_t>(m_));
+    xb_.resize(static_cast<size_t>(m_));
+    binv_.assign(static_cast<size_t>(m_) * static_cast<size_t>(m_), 0.0);
+    for (int i = 0; i < m_; ++i) {
+      const int aj = n_ + m_ + i;
+      lb_[static_cast<size_t>(aj)] = 0.0;
+      ub_[static_cast<size_t>(aj)] = kInf;
+    }
+
+    y_.resize(static_cast<size_t>(m_));
+    w_.resize(static_cast<size_t>(m_));
+    colbuf_.resize(static_cast<size_t>(m_));
+  }
+
+  /// Cold start: all-artificial basis. Also the fallback after a rejected
+  /// warm basis, so any Basic marks left on non-artificials are reset to a
+  /// finite bound first.
+  void install_artificial_basis() {
+    for (int j = 0; j < n_ + m_; ++j) {
+      if (status_[static_cast<size_t>(j)] != VarStatus::Basic) continue;
+      status_[static_cast<size_t>(j)] =
+          std::isfinite(lower(j)) ? VarStatus::AtLower : VarStatus::AtUpper;
+    }
+
     // Residual r = b - (A,I)·x_N with every non-artificial at its bound.
     std::vector<double> resid = b_;
     for (int j = 0; j < n_; ++j) {
@@ -183,10 +230,7 @@ class Simplex {
     }
 
     // Artificial basis: column i is sign(resid_i)·e_i so x_art = |resid| >= 0.
-    art_sign_.resize(static_cast<size_t>(m_));
-    basis_.resize(static_cast<size_t>(m_));
-    xb_.resize(static_cast<size_t>(m_));
-    binv_.assign(static_cast<size_t>(m_) * static_cast<size_t>(m_), 0.0);
+    std::fill(binv_.begin(), binv_.end(), 0.0);
     for (int i = 0; i < m_; ++i) {
       const double s = resid[static_cast<size_t>(i)] >= 0.0 ? 1.0 : -1.0;
       art_sign_[static_cast<size_t>(i)] = s;
@@ -198,10 +242,193 @@ class Simplex {
       xb_[static_cast<size_t>(i)] = std::abs(resid[static_cast<size_t>(i)]);
       binv_[static_cast<size_t>(i) * static_cast<size_t>(m_) + static_cast<size_t>(i)] = s;
     }
+  }
 
-    y_.resize(static_cast<size_t>(m_));
-    w_.resize(static_cast<size_t>(m_));
-    colbuf_.resize(static_cast<size_t>(m_));
+  /// Adopt `warm`: apply its statuses (appended rows get a basic slack),
+  /// factorize the implied basis, and compute x_B. Returns false — leaving
+  /// statuses for install_artificial_basis to normalize — when the snapshot
+  /// is incompatible or the basis matrix is singular.
+  bool try_warm_basis(const Basis& warm) {
+    if (warm.num_vars != n_ || warm.num_rows > m_) return false;
+    if (static_cast<int>(warm.status.size()) != warm.num_vars + warm.num_rows) {
+      return false;
+    }
+    int basics = 0;
+    for (const Basis::Status s : warm.status) {
+      if (s == Basis::Status::Basic) ++basics;
+    }
+    if (basics != warm.num_rows) return false;
+
+    std::vector<int> cand;
+    cand.reserve(static_cast<size_t>(m_));
+    for (int j = 0; j < n_ + m_; ++j) {
+      Basis::Status st;
+      if (j < n_) {
+        st = warm.status[static_cast<size_t>(j)];
+      } else {
+        const int i = j - n_;
+        // Rows appended since the snapshot (Benders cuts) start with their
+        // slack basic; the repair pass absorbs any violation.
+        st = i < warm.num_rows
+                 ? warm.status[static_cast<size_t>(warm.num_vars + i)]
+                 : Basis::Status::Basic;
+      }
+      if (st == Basis::Status::Basic) {
+        cand.push_back(j);
+        status_[static_cast<size_t>(j)] = VarStatus::Basic;
+      } else if (st == Basis::Status::AtUpper) {
+        // Bounds may have moved since the snapshot; stay on a finite side.
+        status_[static_cast<size_t>(j)] = std::isfinite(upper(j))
+                                              ? VarStatus::AtUpper
+                                              : VarStatus::AtLower;
+      } else {
+        status_[static_cast<size_t>(j)] = std::isfinite(lower(j))
+                                              ? VarStatus::AtLower
+                                              : VarStatus::AtUpper;
+      }
+    }
+    if (static_cast<int>(cand.size()) != m_) return false;
+    for (int i = 0; i < m_; ++i) {
+      art_sign_[static_cast<size_t>(i)] = 1.0;
+      const int aj = n_ + m_ + i;
+      lb_[static_cast<size_t>(aj)] = 0.0;
+      ub_[static_cast<size_t>(aj)] = kInf;
+      status_[static_cast<size_t>(aj)] = VarStatus::AtLower;
+    }
+    if (!factorize_basis(cand)) return false;
+    for (int i = 0; i < m_; ++i) basis_[static_cast<size_t>(i)] = cand[static_cast<size_t>(i)];
+    refresh_basics();
+    return true;
+  }
+
+  /// binv_ = B^{-1} for B = [columns of cand], via Gauss-Jordan with
+  /// partial pivoting; false when numerically singular.
+  bool factorize_basis(const std::vector<int>& cand) {
+    const auto m = static_cast<size_t>(m_);
+    std::vector<double> a(m * m, 0.0);
+    for (size_t i = 0; i < m; ++i) {
+      load_column(cand[i], colbuf_);
+      for (size_t r = 0; r < m; ++r) a[r * m + i] = colbuf_[r];
+    }
+    std::fill(binv_.begin(), binv_.end(), 0.0);
+    for (size_t i = 0; i < m; ++i) binv_[i * m + i] = 1.0;
+    for (size_t k = 0; k < m; ++k) {
+      size_t p = k;
+      double mag = std::abs(a[k * m + k]);
+      for (size_t r = k + 1; r < m; ++r) {
+        const double v = std::abs(a[r * m + k]);
+        if (v > mag) { mag = v; p = r; }
+      }
+      if (mag <= opts_.pivot_tol) return false;
+      if (p != k) {
+        for (size_t c = 0; c < m; ++c) {
+          std::swap(a[p * m + c], a[k * m + c]);
+          std::swap(binv_[p * m + c], binv_[k * m + c]);
+        }
+      }
+      const double piv = a[k * m + k];
+      for (size_t c = 0; c < m; ++c) {
+        a[k * m + c] /= piv;
+        binv_[k * m + c] /= piv;
+      }
+      for (size_t r = 0; r < m; ++r) {
+        if (r == k) continue;
+        const double f = a[r * m + k];
+        if (f == 0.0) continue;
+        for (size_t c = 0; c < m; ++c) {
+          a[r * m + c] -= f * a[k * m + c];
+          binv_[r * m + c] -= f * binv_[k * m + c];
+        }
+      }
+    }
+    return true;
+  }
+
+  /// Restore primal feasibility of a warm basis by pivoting an artificial
+  /// into every position whose basic value violates its bounds (the leaving
+  /// variable parks at the violated bound). Returns the number of
+  /// artificials now basic — 0 means the warm basis was already feasible —
+  /// or -1 when repair failed and a cold start is required.
+  int repair_infeasible_basics() {
+    int swaps = 0;
+    for (int guard = 0; guard < 2 * m_ + 4; ++guard) {
+      int worst = -1;
+      double worst_v = opts_.feas_tol;
+      bool below = false;
+      for (int i = 0; i < m_; ++i) {
+        const int bv = basis_[static_cast<size_t>(i)];
+        const double lo_v = lower(bv) - xb_[static_cast<size_t>(i)];
+        const double hi_v = xb_[static_cast<size_t>(i)] - upper(bv);
+        if (lo_v > worst_v) { worst_v = lo_v; worst = i; below = true; }
+        if (hi_v > worst_v) { worst_v = hi_v; worst = i; below = false; }
+      }
+      if (worst < 0) return swaps;
+
+      const int bv = basis_[static_cast<size_t>(worst)];
+      if (is_artificial(bv)) {
+        // A previously swapped-in artificial went negative: flip its column
+        // sign, which negates row `worst` of B^{-1} and the value itself.
+        flip_artificial_sign(worst, bv - n_ - m_);
+        continue;
+      }
+
+      // Entering artificial: unused row r with the best pivot magnitude
+      // |(B^{-1} e_r)_worst| = |binv_[worst][r]|.
+      int r = -1;
+      double mag = opts_.pivot_tol;
+      for (int rr = 0; rr < m_; ++rr) {
+        if (status_[static_cast<size_t>(n_ + m_ + rr)] == VarStatus::Basic) continue;
+        const double v = std::abs(
+            binv_[static_cast<size_t>(worst) * static_cast<size_t>(m_) + static_cast<size_t>(rr)]);
+        if (v > mag) { mag = v; r = rr; }
+      }
+      if (r < 0) return -1;
+
+      // w = B^{-1}·(art_sign_r·e_r), then the usual Gauss-Jordan pivot.
+      for (int i = 0; i < m_; ++i) {
+        w_[static_cast<size_t>(i)] =
+            art_sign_[static_cast<size_t>(r)] *
+            binv_[static_cast<size_t>(i) * static_cast<size_t>(m_) + static_cast<size_t>(r)];
+      }
+      const double piv = w_[static_cast<size_t>(worst)];
+      double* lrow = &binv_[static_cast<size_t>(worst) * static_cast<size_t>(m_)];
+      for (int k = 0; k < m_; ++k) lrow[k] /= piv;
+      for (int i = 0; i < m_; ++i) {
+        if (i == worst) continue;
+        const double f = w_[static_cast<size_t>(i)];
+        if (f == 0.0) continue;
+        double* irow = &binv_[static_cast<size_t>(i) * static_cast<size_t>(m_)];
+        for (int k = 0; k < m_; ++k) irow[k] -= f * lrow[k];
+      }
+      status_[static_cast<size_t>(bv)] = below ? VarStatus::AtLower : VarStatus::AtUpper;
+      const int aj = n_ + m_ + r;
+      basis_[static_cast<size_t>(worst)] = aj;
+      status_[static_cast<size_t>(aj)] = VarStatus::Basic;
+      ++swaps;
+      refresh_basics();
+      if (xb_[static_cast<size_t>(worst)] < 0.0) flip_artificial_sign(worst, r);
+    }
+    return -1;  // did not settle; give up and cold-start
+  }
+
+  /// Negate artificial row `r`'s column sign while basic at position `pos`:
+  /// B gains a -1 on that column, so row `pos` of B^{-1} and x_B[pos] flip.
+  void flip_artificial_sign(int pos, int r) {
+    art_sign_[static_cast<size_t>(r)] = -art_sign_[static_cast<size_t>(r)];
+    double* row = &binv_[static_cast<size_t>(pos) * static_cast<size_t>(m_)];
+    for (int k = 0; k < m_; ++k) row[k] = -row[k];
+    xb_[static_cast<size_t>(pos)] = -xb_[static_cast<size_t>(pos)];
+  }
+
+  /// Fix every nonbasic artificial at zero so warm-start Phase 1 prices
+  /// only the artificials the repair pass actually introduced.
+  void freeze_nonbasic_artificials() {
+    for (int i = 0; i < m_; ++i) {
+      const int aj = n_ + m_ + i;
+      if (status_[static_cast<size_t>(aj)] == VarStatus::Basic) continue;
+      lb_[static_cast<size_t>(aj)] = 0.0;
+      ub_[static_cast<size_t>(aj)] = 0.0;
+    }
   }
 
   void set_phase1_costs() {
@@ -482,6 +709,28 @@ class Simplex {
       res.reduced_costs[static_cast<size_t>(j)] =
           cost_[static_cast<size_t>(j)] - dot_column(j, y_);
     }
+    // Basis snapshot for warm starts. Unusable if an artificial is still
+    // basic (redundant equality rows): the structural+slack statuses alone
+    // would then not reconstruct a full basis.
+    for (int i = 0; i < m_; ++i) {
+      if (is_artificial(basis_[static_cast<size_t>(i)])) return;
+    }
+    res.basis.num_vars = n_;
+    res.basis.num_rows = m_;
+    res.basis.status.resize(static_cast<size_t>(n_ + m_));
+    for (int j = 0; j < n_ + m_; ++j) {
+      switch (status_[static_cast<size_t>(j)]) {
+        case VarStatus::Basic:
+          res.basis.status[static_cast<size_t>(j)] = Basis::Status::Basic;
+          break;
+        case VarStatus::AtLower:
+          res.basis.status[static_cast<size_t>(j)] = Basis::Status::AtLower;
+          break;
+        case VarStatus::AtUpper:
+          res.basis.status[static_cast<size_t>(j)] = Basis::Status::AtUpper;
+          break;
+      }
+    }
   }
 
   LpResult solve_unconstrained() {
@@ -507,6 +756,7 @@ class Simplex {
 
   const LpModel& model_;
   SimplexOptions opts_;
+  const Basis* warm_ = nullptr;
   bool debug_ = std::getenv("OVNES_SIMPLEX_DEBUG") != nullptr;
   int m_, n_;
   bool phase1_ = true;
@@ -527,6 +777,20 @@ class Simplex {
 
 LpResult solve_lp(const LpModel& model, const SimplexOptions& opts) {
   return Simplex(model, opts).run();
+}
+
+LpResult solve_lp(const LpModel& model, const SimplexOptions& opts,
+                  const Basis* warm) {
+  LpResult res = Simplex(model, opts, warm).run();
+  if (res.status == LpStatus::IterationLimit && res.used_warm_start) {
+    // Warm starting is a pivot-count optimization and must never degrade
+    // the outcome: a numerically poor warm basis that stalls the solve is
+    // retried cold before reporting failure.
+    const int warm_iters = res.iterations;
+    res = Simplex(model, opts).run();
+    res.iterations += warm_iters;
+  }
+  return res;
 }
 
 }  // namespace ovnes::solver

@@ -23,6 +23,22 @@ enum class LpStatus { Optimal, Infeasible, Unbounded, IterationLimit };
 
 [[nodiscard]] const char* to_string(LpStatus s);
 
+/// Snapshot of a simplex basis: one status per structural variable plus one
+/// per row slack, taken at optimality. Feed it back through the warm-start
+/// overload of solve_lp to skip (or drastically shorten) Phase 1 on a
+/// related model. Rows may have been appended (Benders cuts) and variable
+/// bounds tightened (branch-and-bound) between snapshot and reuse: appended
+/// rows enter via their slack and any primal infeasibility is repaired with
+/// targeted artificials before pivoting resumes.
+struct Basis {
+  enum class Status : unsigned char { Basic, AtLower, AtUpper };
+  int num_vars = 0;  ///< structural variable count at snapshot time
+  int num_rows = 0;  ///< row count at snapshot time
+  std::vector<Status> status;  ///< size num_vars + num_rows; empty = no basis
+
+  [[nodiscard]] bool empty() const { return status.empty(); }
+};
+
 struct LpResult {
   LpStatus status = LpStatus::IterationLimit;
   double objective = 0.0;
@@ -36,6 +52,12 @@ struct LpResult {
   /// rows, free for == rows.
   std::vector<double> farkas_ray;
   int iterations = 0;
+  /// Optimal basis snapshot for warm-starting subsequent solves; empty when
+  /// the solve did not end Optimal or an artificial remained basic.
+  Basis basis;
+  /// True when a supplied warm basis was accepted (possibly after repair)
+  /// instead of the artificial cold start.
+  bool used_warm_start = false;
 };
 
 struct SimplexOptions {
@@ -50,5 +72,16 @@ struct SimplexOptions {
 /// shared state; safe to call from multiple threads on distinct models.
 [[nodiscard]] LpResult solve_lp(const LpModel& model,
                                 const SimplexOptions& opts = {});
+
+/// Warm-started solve: reuse `warm` (a Basis from a previous LpResult on a
+/// related model — same structural variables, possibly appended rows or
+/// tightened bounds). When the basis factorizes and is primal-feasible the
+/// solve goes straight to Phase 2; small infeasibilities (a violated cut
+/// row, a branched variable pushed off its value) are repaired with
+/// targeted artificials and a short Phase 1. Falls back to a cold start
+/// when `warm` is null, empty, dimensionally incompatible, or singular.
+[[nodiscard]] LpResult solve_lp(const LpModel& model,
+                                const SimplexOptions& opts,
+                                const Basis* warm);
 
 }  // namespace ovnes::solver

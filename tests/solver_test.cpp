@@ -336,6 +336,164 @@ TEST_P(SimplexRandomTest, FeasibleSolutionsAreFeasibleAndDualConsistent) {
 
 INSTANTIATE_TEST_SUITE_P(RandomLps, SimplexRandomTest, ::testing::Range(0, 60));
 
+// --------------------------------------------------------------- warm start
+
+TEST(SimplexWarm, ReusedBasisSkipsPhase1OnIdenticalModel) {
+  LpModel m;
+  const int x = m.add_variable("x", 0, kInf, -3.0);
+  const int y = m.add_variable("y", 0, kInf, -5.0);
+  m.add_row("r1", RowSense::LessEq, 4.0, {{x, 1.0}});
+  m.add_row("r2", RowSense::LessEq, 12.0, {{y, 2.0}});
+  m.add_row("r3", RowSense::LessEq, 18.0, {{x, 3.0}, {y, 2.0}});
+  const LpResult cold = solve_lp(m);
+  ASSERT_EQ(cold.status, LpStatus::Optimal);
+  ASSERT_FALSE(cold.basis.empty());
+  const LpResult warm = solve_lp(m, {}, &cold.basis);
+  ASSERT_EQ(warm.status, LpStatus::Optimal);
+  EXPECT_TRUE(warm.used_warm_start);
+  EXPECT_NEAR(warm.objective, cold.objective, 1e-9);
+  // The optimal basis re-verifies in zero pivots: no Phase 1, no Phase 2.
+  EXPECT_EQ(warm.iterations, 0);
+}
+
+TEST(SimplexWarm, RepairAfterViolatedCutRow) {
+  // Benders-master shape: optimum at (2, 6), then a cut the optimum
+  // violates is appended. The warm basis is primal-infeasible in exactly
+  // the new row, the repair path swaps one artificial in, and a short
+  // Phase 1 restores feasibility.
+  LpModel m;
+  const int x = m.add_variable("x", 0, kInf, -3.0);
+  const int y = m.add_variable("y", 0, kInf, -5.0);
+  m.add_row("r1", RowSense::LessEq, 4.0, {{x, 1.0}});
+  m.add_row("r2", RowSense::LessEq, 12.0, {{y, 2.0}});
+  m.add_row("r3", RowSense::LessEq, 18.0, {{x, 3.0}, {y, 2.0}});
+  const LpResult base = solve_lp(m);
+  ASSERT_EQ(base.status, LpStatus::Optimal);
+  EXPECT_NEAR(base.x[0], 2.0, 1e-8);
+  EXPECT_NEAR(base.x[1], 6.0, 1e-8);
+
+  m.add_row("cut", RowSense::LessEq, 6.0, {{x, 1.0}, {y, 1.0}});  // 2+6 > 6
+  const LpResult cold = solve_lp(m);
+  const LpResult warm = solve_lp(m, {}, &base.basis);
+  ASSERT_EQ(cold.status, LpStatus::Optimal);
+  ASSERT_EQ(warm.status, LpStatus::Optimal);
+  EXPECT_TRUE(warm.used_warm_start);
+  EXPECT_NEAR(warm.objective, cold.objective, 1e-8);
+  EXPECT_LT(m.max_violation(warm.x), 1e-7);
+  EXPECT_LT(warm.iterations, cold.iterations);
+}
+
+TEST(SimplexWarm, RepairAfterBranchingBoundChange) {
+  // Branch-and-bound shape: the (fractional) basic variable's bounds
+  // tighten past its LP value; the parent basis repairs with one
+  // artificial instead of a cold Phase 1.
+  LpModel m;
+  const int x = m.add_variable("x", 0.0, 1.0, -6.0);
+  const int y = m.add_variable("y", 0.0, 1.0, -5.0);
+  const int z = m.add_variable("z", 0.0, 1.0, -4.0);
+  m.add_row("cap", RowSense::LessEq, 4.0, {{x, 3.0}, {y, 2.0}, {z, 2.0}});
+  const LpResult parent = solve_lp(m);
+  ASSERT_EQ(parent.status, LpStatus::Optimal);
+  ASSERT_FALSE(parent.basis.empty());
+
+  for (const auto& [lo, hi] : {std::pair{0.0, 0.0}, std::pair{1.0, 1.0}}) {
+    LpModel child = m;
+    child.set_bounds(x, lo, hi);
+    const LpResult cold = solve_lp(child);
+    const LpResult warm = solve_lp(child, {}, &parent.basis);
+    ASSERT_EQ(warm.status, cold.status);
+    if (cold.status == LpStatus::Optimal) {
+      EXPECT_TRUE(warm.used_warm_start);
+      EXPECT_NEAR(warm.objective, cold.objective, 1e-8);
+      EXPECT_LT(child.max_violation(warm.x), 1e-7);
+    }
+  }
+}
+
+// Warm vs cold on randomized LPs (same generator family as
+// SimplexRandomTest): identical status and objective, and — after a row
+// append — never more pivots than the cold solve needs in Phase 1 alone.
+class SimplexWarmRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexWarmRandomTest, WarmMatchesColdAfterModelEdits) {
+  RngStream rng(static_cast<uint64_t>(GetParam()) * 4243 + 29);
+  LpModel m;
+  const int n = static_cast<int>(rng.uniform_int(2, 8));
+  const int rows = static_cast<int>(rng.uniform_int(1, 10));
+  for (int j = 0; j < n; ++j) {
+    const double lb = rng.uniform(0.0, 2.0);
+    m.add_variable("x" + std::to_string(j), lb, lb + rng.uniform(0.5, 5.0),
+                   rng.uniform(-3.0, 3.0));
+  }
+  for (int i = 0; i < rows; ++i) {
+    std::vector<Coef> coefs;
+    for (int j = 0; j < n; ++j) {
+      if (rng.flip(0.7)) coefs.push_back({j, rng.uniform(-2.0, 2.0)});
+    }
+    m.add_row("r" + std::to_string(i), static_cast<RowSense>(rng.uniform_int(0, 2)),
+              rng.uniform(-5.0, 15.0), std::move(coefs));
+  }
+  const LpResult base = solve_lp(m);
+  if (base.status != LpStatus::Optimal || base.basis.empty()) return;
+
+  // Edit 1: append a (often violated) <= row, Benders-cut style.
+  LpModel cut_model = m;
+  {
+    std::vector<Coef> coefs;
+    for (int j = 0; j < n; ++j) coefs.push_back({j, rng.uniform(0.1, 1.0)});
+    cut_model.add_row("cut", RowSense::LessEq, rng.uniform(-1.0, 4.0),
+                      std::move(coefs));
+  }
+  // Edit 2: tighten one variable's bounds, branching style.
+  LpModel branch_model = m;
+  {
+    const int j = static_cast<int>(rng.uniform_int(0, n - 1));
+    const Variable& v = branch_model.variable(j);
+    const double mid = 0.5 * (v.lower + v.upper);
+    if (rng.flip(0.5)) branch_model.set_bounds(j, v.lower, mid);
+    else branch_model.set_bounds(j, mid, v.upper);
+  }
+  for (const LpModel* edited : {&cut_model, &branch_model}) {
+    const LpResult cold = solve_lp(*edited);
+    const LpResult warm = solve_lp(*edited, {}, &base.basis);
+    ASSERT_EQ(warm.status, cold.status);
+    if (cold.status == LpStatus::Optimal) {
+      EXPECT_NEAR(warm.objective, cold.objective,
+                  1e-6 * std::max(1.0, std::abs(cold.objective)));
+      EXPECT_LT(edited->max_violation(warm.x), 1e-6);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomLps, SimplexWarmRandomTest,
+                         ::testing::Range(0, 60));
+
+TEST(MilpWarm, RootWarmStartPreservesOptimum) {
+  RngStream rng(99);
+  LpModel m;
+  std::vector<Coef> cap;
+  for (int j = 0; j < 12; ++j) {
+    m.add_binary("b" + std::to_string(j), -rng.uniform(1.0, 10.0));
+    cap.push_back({j, rng.uniform(1.0, 5.0)});
+  }
+  m.add_row("cap", RowSense::LessEq, 9.0, cap);
+  const MilpResult cold = solve_milp(m);
+  ASSERT_EQ(cold.status, MilpStatus::Optimal);
+  ASSERT_FALSE(cold.root_basis.empty());
+
+  // Appending a cut row and warm-starting from the stale root basis must
+  // not change the optimum.
+  m.add_row("cut", RowSense::LessEq, 5.0,
+            {{0, 1.0}, {1, 1.0}, {2, 1.0}, {3, 1.0}, {4, 1.0}, {5, 1.0}});
+  MilpOptions warm_opts;
+  warm_opts.warm_start = &cold.root_basis;
+  const MilpResult warm = solve_milp(m, warm_opts);
+  const MilpResult fresh = solve_milp(m);
+  ASSERT_EQ(warm.status, MilpStatus::Optimal);
+  ASSERT_EQ(fresh.status, MilpStatus::Optimal);
+  EXPECT_NEAR(warm.objective, fresh.objective, 1e-7);
+}
+
 // --------------------------------------------------------------------- MILP
 
 TEST(Milp, SimpleKnapsack) {
