@@ -88,6 +88,85 @@ void BM_MasterResolveWarm(benchmark::State& state) {
 }
 BENCHMARK(BM_MasterResolveWarm);
 
+// P2: basis-kernel factorize/re-solve cost at Benders-master scale. A warm
+// re-solve of an *unchanged* model from its own optimal basis is one basis
+// factorization plus a zero-pivot pricing pass, so this isolates the
+// refactorization cost the LU kernel exists to cut: O(m^3/3) LU versus the
+// O(m^3) Gauss-Jordan explicit inverse (tier-1 acceptance: LU >= 3x faster
+// at m >= 300).
+void refactorize_resolve_loop(benchmark::State& state, bool dense) {
+  const int m = static_cast<int>(state.range(0));
+  const LpModel lp = random_lp(m, m, 17);
+  SimplexOptions opts;
+  opts.dense_basis_inverse = dense;
+  const LpResult base = solve_lp(lp, opts);
+  long pivots = 0;
+  for (auto _ : state) {
+    const LpResult r = solve_lp(lp, opts, &base.basis);
+    pivots += r.iterations;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["pivots"] = static_cast<double>(pivots);
+  state.SetLabel("m=" + std::to_string(m) +
+                 (base.basis.empty() ? " (no basis!)" : ""));
+}
+
+void BM_RefactorizeResolveLu(benchmark::State& state) {
+  refactorize_resolve_loop(state, false);
+}
+BENCHMARK(BM_RefactorizeResolveLu)
+    ->Arg(100)->Arg(300)->Arg(500)->Unit(benchmark::kMillisecond);
+
+void BM_RefactorizeResolveDense(benchmark::State& state) {
+  refactorize_resolve_loop(state, true);
+}
+BENCHMARK(BM_RefactorizeResolveDense)
+    ->Arg(100)->Arg(300)->Arg(500)->Unit(benchmark::kMillisecond);
+
+// Benders-master shape at m = 300: warm re-solves after appended cuts on
+// each kernel. The `simplex_iters` counter shows the warm pivot-count
+// advantage is preserved under the LU path.
+void cut_resolve_kernel_loop(benchmark::State& state, bool dense) {
+  const int n = 300;
+  SimplexOptions opts;
+  opts.dense_basis_inverse = dense;
+  long iters = 0;
+  for (auto _ : state) {
+    LpModel m = random_lp(n, n, 11);
+    RngStream rng(5);
+    iters = 0;
+    LpResult r = solve_lp(m, opts);
+    iters += r.iterations;
+    Basis basis = r.basis;
+    for (int k = 0; k < 6 && r.status == LpStatus::Optimal; ++k) {
+      std::vector<Coef> coefs;
+      double lhs = 0.0;
+      for (int j = 0; j < n; ++j) {
+        const double a = rng.uniform(0.1, 1.0);
+        coefs.push_back({j, a});
+        lhs += a * r.x[static_cast<size_t>(j)];
+      }
+      m.add_row("cut" + std::to_string(k), RowSense::LessEq, 0.8 * lhs,
+                std::move(coefs));
+      r = solve_lp(m, opts, basis.empty() ? nullptr : &basis);
+      iters += r.iterations;
+      basis = r.basis;
+    }
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["simplex_iters"] = static_cast<double>(iters);
+}
+
+void BM_CutResolveWarmLu(benchmark::State& state) {
+  cut_resolve_kernel_loop(state, false);
+}
+BENCHMARK(BM_CutResolveWarmLu)->Unit(benchmark::kMillisecond);
+
+void BM_CutResolveWarmDense(benchmark::State& state) {
+  cut_resolve_kernel_loop(state, true);
+}
+BENCHMARK(BM_CutResolveWarmDense)->Unit(benchmark::kMillisecond);
+
 void BM_MilpKnapsack(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   RngStream rng(7);

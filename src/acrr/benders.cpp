@@ -267,6 +267,12 @@ AdmissionResult solve_benders(const AcrrInstance& inst,
       res.iterations = iter;
       return res;
     }
+    // Limit-hit audit: a NoSolution master carries no usable x̄ — stop with
+    // the current incumbent rather than read garbage. A Feasible (limit-hit
+    // but incumbent-bearing) master is safe to continue from: its x̄ is
+    // integer-feasible so the slave cut stays valid, and best_bound is a
+    // true lower bound even when the tree was truncated (branch-and-bound
+    // folds dropped limit-hit nodes into best_bound conservatively).
     if (mr.status == MilpStatus::NoSolution) break;
     lb = std::max(lb, mr.best_bound);
 

@@ -148,7 +148,10 @@ SlaveResult SlaveProblem::solve(const std::vector<char>& x_active,
   // rows), from either the optimal duals or the Farkas ray. Any other
   // outcome (IterationLimit; Unbounded is impossible for the box-bounded
   // slave) carries neither certificate, so report infeasible with an empty
-  // cut rather than price from a vector that was never populated.
+  // cut rather than price from a vector that was never populated — the
+  // Benders loop detects the vacuous cut and stops instead of spinning.
+  // (The cached warm basis was already dropped above for the same reason:
+  // a limit-hit solve leaves nothing worth restarting from.)
   const bool feasible = lr.status == LpStatus::Optimal;
   if (!feasible && lr.status != LpStatus::Infeasible) {
     out.feasible = false;

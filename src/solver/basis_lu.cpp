@@ -1,0 +1,246 @@
+#include "solver/basis_lu.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ovnes::solver {
+
+namespace {
+
+using std::size_t;
+
+}  // namespace
+
+// ----------------------------------------------------------------- BasisLu
+
+BasisLu::BasisLu(int m, const BasisKernelOptions& opts) : m_(m), opts_(opts) {
+  const auto mm = static_cast<size_t>(m);
+  lu_.assign(mm * mm, 0.0);
+  perm_.resize(mm);
+  scratch_.resize(mm);
+}
+
+bool BasisLu::factorize(const std::vector<std::vector<double>>& cols) {
+  const auto m = static_cast<size_t>(m_);
+  etas_.clear();
+  // Row-major working copy a[r][c] = cols[c][r], plus the per-column scale
+  // used for the *relative* singularity test: a pivot is only "too small"
+  // when it is tiny compared to its own column, not on an absolute scale.
+  std::vector<double> scale(m, 0.0);
+  for (size_t c = 0; c < m; ++c) {
+    const std::vector<double>& col = cols[c];
+    for (size_t r = 0; r < m; ++r) {
+      lu_[r * m + c] = col[r];
+      scale[c] = std::max(scale[c], std::abs(col[r]));
+    }
+  }
+  for (size_t k = 0; k < m; ++k) perm_[k] = static_cast<int>(k);
+
+  for (size_t k = 0; k < m; ++k) {
+    // Partial pivoting over the remaining rows of column k.
+    size_t p = k;
+    double mag = std::abs(lu_[k * m + k]);
+    for (size_t r = k + 1; r < m; ++r) {
+      const double v = std::abs(lu_[r * m + k]);
+      if (v > mag) { mag = v; p = r; }
+    }
+    if (scale[k] == 0.0 || mag <= opts_.pivot_tol * scale[k]) return false;
+    if (p != k) {
+      for (size_t c = 0; c < m; ++c) std::swap(lu_[p * m + c], lu_[k * m + c]);
+      std::swap(perm_[p], perm_[k]);
+    }
+    const double piv = lu_[k * m + k];
+    double* krow = &lu_[k * m];
+    for (size_t r = k + 1; r < m; ++r) {
+      double* rrow = &lu_[r * m];
+      const double f = rrow[k] / piv;
+      rrow[k] = f;
+      if (f == 0.0) continue;
+      for (size_t c = k + 1; c < m; ++c) rrow[c] -= f * krow[c];
+    }
+  }
+  return true;
+}
+
+void BasisLu::ftran(std::vector<double>& v) const {
+  const auto m = static_cast<size_t>(m_);
+  if (m == 0) return;
+  // x = P v, then L x = x (forward, unit diagonal), then U x = x (backward).
+  std::vector<double>& x = scratch_;
+  size_t first = m;  // leading zeros of Pv stay zero through the L solve
+  for (size_t k = 0; k < m; ++k) {
+    x[k] = v[static_cast<size_t>(perm_[k])];
+    if (first == m && x[k] != 0.0) first = k;
+  }
+  for (size_t k = first + 1; k < m; ++k) {
+    const double* row = &lu_[k * m];
+    double s = x[k];
+    for (size_t j = first; j < k; ++j) s -= row[j] * x[j];
+    x[k] = s;
+  }
+  for (size_t k = m; k-- > 0;) {
+    const double* row = &lu_[k * m];
+    double s = x[k];
+    for (size_t j = k + 1; j < m; ++j) s -= row[j] * x[j];
+    x[k] = s / row[k];
+  }
+  v.swap(x);
+  // Product-form updates, oldest first: B = B₀E₁…E_K ⇒ B⁻¹ = E_K⁻¹…E₁⁻¹B₀⁻¹.
+  for (const Eta& e : etas_) {
+    const auto r = static_cast<size_t>(e.row);
+    const double xr = v[r] / e.pivot;
+    v[r] = xr;
+    if (xr == 0.0) continue;
+    for (const auto& [i, wi] : e.col) v[static_cast<size_t>(i)] -= wi * xr;
+  }
+}
+
+void BasisLu::btran(std::vector<double>& v) const {
+  const auto m = static_cast<size_t>(m_);
+  if (m == 0) return;
+  // B⁻ᵀ = B₀⁻ᵀ E₁⁻ᵀ … E_K⁻ᵀ: apply eta transposes newest first, then the
+  // LU transpose solve. E⁻ᵀ v: only entry `row` changes.
+  for (auto it = etas_.rbegin(); it != etas_.rend(); ++it) {
+    const Eta& e = *it;
+    double s = v[static_cast<size_t>(e.row)];
+    for (const auto& [i, wi] : e.col) s -= wi * v[static_cast<size_t>(i)];
+    v[static_cast<size_t>(e.row)] = s / e.pivot;
+  }
+  // B₀ = Pᵀ L U ⇒ B₀ᵀ y = v solved as Uᵀ a = v, Lᵀ c = a, y = Pᵀ c.
+  // Both sweeps stream row j of lu_ (saxpy form) to stay cache-friendly.
+  std::vector<double>& a = scratch_;
+  for (size_t j = 0; j < m; ++j) {
+    const double* row = &lu_[j * m];
+    const double aj = v[j] / row[j];
+    a[j] = aj;
+    if (aj == 0.0) continue;
+    for (size_t k = j + 1; k < m; ++k) v[k] -= aj * row[k];
+  }
+  for (size_t j = m; j-- > 0;) {
+    const double* row = &lu_[j * m];
+    const double cj = a[j];
+    if (cj == 0.0) continue;
+    for (size_t k = 0; k < j; ++k) a[k] -= cj * row[k];
+  }
+  for (size_t k = 0; k < m; ++k) v[static_cast<size_t>(perm_[k])] = a[k];
+}
+
+bool BasisLu::update(const std::vector<double>& w, int leaving_row) {
+  if (static_cast<int>(etas_.size()) >= opts_.max_etas) return false;
+  const double piv = w[static_cast<size_t>(leaving_row)];
+  double wmax = 0.0;
+  for (const double x : w) wmax = std::max(wmax, std::abs(x));
+  // A pivot tiny relative to the rest of the eta column would amplify
+  // round-off on every subsequent ftran/btran; refactorize instead.
+  if (std::abs(piv) <= opts_.stability_tol * std::max(1.0, wmax)) return false;
+  Eta e;
+  e.row = leaving_row;
+  e.pivot = piv;
+  for (size_t i = 0; i < w.size(); ++i) {
+    if (static_cast<int>(i) == leaving_row) continue;
+    if (std::abs(w[i]) > opts_.eta_drop_tol) {
+      e.col.emplace_back(static_cast<int>(i), w[i]);
+    }
+  }
+  etas_.push_back(std::move(e));
+  return true;
+}
+
+// ------------------------------------------------------- DenseInverseKernel
+
+DenseInverseKernel::DenseInverseKernel(int m, const BasisKernelOptions& opts)
+    : m_(m), opts_(opts) {
+  const auto mm = static_cast<size_t>(m);
+  binv_.assign(mm * mm, 0.0);
+  scratch_.resize(mm);
+}
+
+bool DenseInverseKernel::factorize(
+    const std::vector<std::vector<double>>& cols) {
+  const auto m = static_cast<size_t>(m_);
+  std::vector<double> a(m * m, 0.0);
+  for (size_t c = 0; c < m; ++c) {
+    for (size_t r = 0; r < m; ++r) a[r * m + c] = cols[c][r];
+  }
+  std::fill(binv_.begin(), binv_.end(), 0.0);
+  for (size_t i = 0; i < m; ++i) binv_[i * m + i] = 1.0;
+  for (size_t k = 0; k < m; ++k) {
+    size_t p = k;
+    double mag = std::abs(a[k * m + k]);
+    for (size_t r = k + 1; r < m; ++r) {
+      const double v = std::abs(a[r * m + k]);
+      if (v > mag) { mag = v; p = r; }
+    }
+    if (mag <= opts_.pivot_tol) return false;  // historical absolute test
+    if (p != k) {
+      for (size_t c = 0; c < m; ++c) {
+        std::swap(a[p * m + c], a[k * m + c]);
+        std::swap(binv_[p * m + c], binv_[k * m + c]);
+      }
+    }
+    const double piv = a[k * m + k];
+    for (size_t c = 0; c < m; ++c) {
+      a[k * m + c] /= piv;
+      binv_[k * m + c] /= piv;
+    }
+    for (size_t r = 0; r < m; ++r) {
+      if (r == k) continue;
+      const double f = a[r * m + k];
+      if (f == 0.0) continue;
+      for (size_t c = 0; c < m; ++c) {
+        a[r * m + c] -= f * a[k * m + c];
+        binv_[r * m + c] -= f * binv_[k * m + c];
+      }
+    }
+  }
+  return true;
+}
+
+void DenseInverseKernel::ftran(std::vector<double>& v) const {
+  const auto m = static_cast<size_t>(m_);
+  std::vector<double>& out = scratch_;
+  for (size_t i = 0; i < m; ++i) {
+    const double* row = &binv_[i * m];
+    double s = 0.0;
+    for (size_t k = 0; k < m; ++k) s += row[k] * v[k];
+    out[i] = s;
+  }
+  v.swap(out);
+}
+
+void DenseInverseKernel::btran(std::vector<double>& v) const {
+  const auto m = static_cast<size_t>(m_);
+  std::vector<double>& out = scratch_;
+  std::fill(out.begin(), out.end(), 0.0);
+  for (size_t i = 0; i < m; ++i) {
+    const double vi = v[i];
+    if (vi == 0.0) continue;
+    const double* row = &binv_[i * m];
+    for (size_t k = 0; k < m; ++k) out[k] += vi * row[k];
+  }
+  v.swap(out);
+}
+
+bool DenseInverseKernel::update(const std::vector<double>& w, int leaving_row) {
+  const auto m = static_cast<size_t>(m_);
+  const auto lr = static_cast<size_t>(leaving_row);
+  const double piv = w[lr];
+  double* lrow = &binv_[lr * m];
+  for (size_t k = 0; k < m; ++k) lrow[k] /= piv;
+  for (size_t i = 0; i < m; ++i) {
+    if (i == lr) continue;
+    const double f = w[i];
+    if (f == 0.0) continue;
+    double* irow = &binv_[i * m];
+    for (size_t k = 0; k < m; ++k) irow[k] -= f * lrow[k];
+  }
+  return true;
+}
+
+std::unique_ptr<BasisKernel> make_basis_kernel(int m, bool dense_reference,
+                                               const BasisKernelOptions& opts) {
+  if (dense_reference) return std::make_unique<DenseInverseKernel>(m, opts);
+  return std::make_unique<BasisLu>(m, opts);
+}
+
+}  // namespace ovnes::solver

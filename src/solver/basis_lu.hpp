@@ -1,0 +1,133 @@
+// Basis factorization kernels for the revised simplex.
+//
+// The simplex needs four operations on the basis matrix B (m×m, columns
+// drawn from [A | I | ±I]):
+//
+//   factorize(cols)        rebuild the factorization from scratch,
+//   ftran(v)               v := B⁻¹ v   (entering column, x_B refresh),
+//   btran(v)               v := B⁻ᵀ v   (duals, tableau rows),
+//   update(w, r)           replace basis column r; w = B⁻¹ a_entering.
+//
+// Two implementations share that interface:
+//
+//  * BasisLu — LU with partial pivoting plus product-form (eta) updates.
+//    Refactorization is O(m³/3); each pivot appends an O(nnz(w)) eta vector
+//    instead of touching all m² entries of an explicit inverse, and the
+//    kernel asks for a refactorization (update() returning false) once the
+//    eta file grows past `max_etas` or a pivot is too small relative to
+//    ‖w‖∞ to be applied stably. Singularity during factorization is judged
+//    per column *relative to that column's magnitude* so badly scaled but
+//    perfectly regular bases (e.g. 1e-10-coefficient rows next to 1e7
+//    capacities) are not rejected.
+//
+//  * DenseInverseKernel — the pre-LU explicit dense B⁻¹ maintained by
+//    Gauss–Jordan pivots, retained as a reference baseline for tests and
+//    benchmarks (O(m³) factorize, O(m²) per pivot, absolute pivot
+//    threshold). Select it with SimplexOptions::dense_basis_inverse.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+namespace ovnes::solver {
+
+struct BasisKernelOptions {
+  /// Singularity threshold during factorize(). BasisLu applies it relative
+  /// to each column's largest magnitude; DenseInverseKernel applies it
+  /// absolutely (the historical behaviour it exists to reproduce).
+  double pivot_tol = 1e-9;
+  /// BasisLu: refactorize after this many product-form updates.
+  int max_etas = 64;
+  /// BasisLu: eta entries below this magnitude are dropped.
+  double eta_drop_tol = 1e-12;
+  /// BasisLu: decline update() (forcing refactorization) when the pivot is
+  /// smaller than this fraction of ‖w‖∞.
+  double stability_tol = 1e-8;
+};
+
+class BasisKernel {
+ public:
+  virtual ~BasisKernel() = default;
+
+  /// Rebuild the factorization from the basis columns (cols[j] is dense
+  /// column j, size m). Returns false when B is numerically singular; the
+  /// kernel state is then unusable until a successful factorize.
+  [[nodiscard]] virtual bool factorize(
+      const std::vector<std::vector<double>>& cols) = 0;
+
+  /// v := B⁻¹ v.
+  virtual void ftran(std::vector<double>& v) const = 0;
+
+  /// v := B⁻ᵀ v.
+  virtual void btran(std::vector<double>& v) const = 0;
+
+  /// Account for basis column `leaving_row` being replaced by the column
+  /// whose FTRAN image is `w` (i.e. w = B⁻¹ a_entering, computed by the
+  /// caller; the pivot element is w[leaving_row]). Returns false when the
+  /// kernel declines — the caller must then refactorize from the updated
+  /// basis columns instead.
+  [[nodiscard]] virtual bool update(const std::vector<double>& w,
+                                    int leaving_row) = 0;
+
+  /// Product-form updates absorbed since the last factorize (0 for kernels
+  /// without an eta file).
+  [[nodiscard]] virtual int updates_since_factorize() const { return 0; }
+};
+
+/// LU factorization with partial pivoting + product-form eta updates.
+class BasisLu final : public BasisKernel {
+ public:
+  explicit BasisLu(int m, const BasisKernelOptions& opts = {});
+
+  [[nodiscard]] bool factorize(
+      const std::vector<std::vector<double>>& cols) override;
+  void ftran(std::vector<double>& v) const override;
+  void btran(std::vector<double>& v) const override;
+  [[nodiscard]] bool update(const std::vector<double>& w,
+                            int leaving_row) override;
+  [[nodiscard]] int updates_since_factorize() const override {
+    return static_cast<int>(etas_.size());
+  }
+
+ private:
+  /// One product-form update: B_new = B_old · E with E = I except column
+  /// `row`, which holds w. Stored sparsely (pivot + off-pivot nonzeros).
+  struct Eta {
+    int row = 0;
+    double pivot = 1.0;
+    std::vector<std::pair<int, double>> col;  ///< (i, w_i) for i != row
+  };
+
+  int m_;
+  BasisKernelOptions opts_;
+  std::vector<double> lu_;   ///< m×m row-major; unit-L below diag, U on/above
+  std::vector<int> perm_;    ///< lu_ row k corresponds to original row perm_[k]
+  std::vector<Eta> etas_;    ///< applied in order after the LU solve
+  mutable std::vector<double> scratch_;  ///< solve buffer (no per-call alloc)
+};
+
+/// Explicit dense B⁻¹ maintained by Gauss–Jordan pivots (reference kernel).
+class DenseInverseKernel final : public BasisKernel {
+ public:
+  explicit DenseInverseKernel(int m, const BasisKernelOptions& opts = {});
+
+  [[nodiscard]] bool factorize(
+      const std::vector<std::vector<double>>& cols) override;
+  void ftran(std::vector<double>& v) const override;
+  void btran(std::vector<double>& v) const override;
+  [[nodiscard]] bool update(const std::vector<double>& w,
+                            int leaving_row) override;
+
+ private:
+  int m_;
+  BasisKernelOptions opts_;
+  std::vector<double> binv_;  ///< m×m row-major
+  mutable std::vector<double> scratch_;  ///< solve buffer (no per-call alloc)
+};
+
+/// Factory used by the simplex: LU by default, the dense reference kernel
+/// when `dense_reference` is set.
+[[nodiscard]] std::unique_ptr<BasisKernel> make_basis_kernel(
+    int m, bool dense_reference, const BasisKernelOptions& opts = {});
+
+}  // namespace ovnes::solver

@@ -57,6 +57,10 @@ class BranchAndBound {
     double root_bound = -kInf;
     bool root_solved = false;
     bool hit_limit = false;
+    // Min over parent bounds of nodes whose LP hit the iteration limit: the
+    // subtree was abandoned unexplored, so its bound must stay in the
+    // best_bound accounting or the reported gap would overstate certainty.
+    double dropped_bound = kInf;
 
     while (!stack.empty()) {
       if (res.nodes >= opts_.max_nodes || elapsed_sec(t0) > opts_.time_limit_sec) {
@@ -86,7 +90,12 @@ class BranchAndBound {
           res.best_bound = -kInf;
           return res;
         }
+        // IterationLimit: the LP is unsolved — its x/duals are garbage and
+        // must not seed an incumbent or a branching decision. Drop the node
+        // but keep its parent bound so the result can never claim Optimal
+        // or a tighter bound than was actually proved.
         hit_limit = true;
+        dropped_bound = std::min(dropped_bound, node.parent_bound);
         continue;
       }
       if (!root_solved) {
@@ -161,8 +170,8 @@ class BranchAndBound {
     res.x = std::move(best_x);
     if (hit_limit || !stack.empty()) {
       res.status = MilpStatus::Feasible;
-      // Bound: min over open nodes and root.
-      double bound = incumbent;
+      // Bound: min over open nodes, dropped (limit-hit) nodes, and root.
+      double bound = std::min(incumbent, dropped_bound);
       for (const Node& n : stack) bound = std::min(bound, n.parent_bound);
       if (!root_solved) bound = -kInf;
       res.best_bound = std::min(bound, incumbent);

@@ -6,6 +6,9 @@
 #include <cassert>
 #include <cmath>
 #include <limits>
+#include <memory>
+
+#include "solver/basis_lu.hpp"
 
 namespace ovnes::solver {
 
@@ -84,7 +87,10 @@ class Simplex {
         }
         return res;
       }
-      drive_out_artificials();
+      if (!drive_out_artificials()) {
+        res.status = LpStatus::IterationLimit;
+        return res;
+      }
     } else {
       // Warm basis already primal feasible: Phase 1 skipped entirely.
       freeze_nonbasic_artificials();
@@ -193,7 +199,15 @@ class Simplex {
     art_sign_.assign(static_cast<size_t>(m_), 1.0);
     basis_.resize(static_cast<size_t>(m_));
     xb_.resize(static_cast<size_t>(m_));
-    binv_.assign(static_cast<size_t>(m_) * static_cast<size_t>(m_), 0.0);
+    BasisKernelOptions kopts;
+    kopts.pivot_tol = opts_.pivot_tol;
+    // Eta budget: refactorizing costs O(m^3)/k amortized while each eta adds
+    // O(m) to every ftran/btran, so the break-even file length grows with m
+    // (~m/2). Capping by refactor_interval bounds drift on large bases;
+    // scaling down for small ones keeps tiny LPs (B&B nodes) cheap.
+    kopts.max_etas =
+        std::min(std::max(1, opts_.refactor_interval), std::max(8, m_ / 2));
+    kernel_ = make_basis_kernel(m_, opts_.dense_basis_inverse, kopts);
     for (int i = 0; i < m_; ++i) {
       const int aj = n_ + m_ + i;
       lb_[static_cast<size_t>(aj)] = 0.0;
@@ -202,7 +216,6 @@ class Simplex {
 
     y_.resize(static_cast<size_t>(m_));
     w_.resize(static_cast<size_t>(m_));
-    colbuf_.resize(static_cast<size_t>(m_));
   }
 
   /// Cold start: all-artificial basis. Also the fallback after a rejected
@@ -230,7 +243,6 @@ class Simplex {
     }
 
     // Artificial basis: column i is sign(resid_i)·e_i so x_art = |resid| >= 0.
-    std::fill(binv_.begin(), binv_.end(), 0.0);
     for (int i = 0; i < m_; ++i) {
       const double s = resid[static_cast<size_t>(i)] >= 0.0 ? 1.0 : -1.0;
       art_sign_[static_cast<size_t>(i)] = s;
@@ -240,8 +252,11 @@ class Simplex {
       basis_[static_cast<size_t>(i)] = aj;
       status_[static_cast<size_t>(aj)] = VarStatus::Basic;
       xb_[static_cast<size_t>(i)] = std::abs(resid[static_cast<size_t>(i)]);
-      binv_[static_cast<size_t>(i) * static_cast<size_t>(m_) + static_cast<size_t>(i)] = s;
     }
+    // A ±1 diagonal always factorizes.
+    const bool ok = factorize_current_basis();
+    assert(ok);
+    (void)ok;
   }
 
   /// Adopt `warm`: apply its statuses (appended rows get a basic slack),
@@ -295,53 +310,29 @@ class Simplex {
       ub_[static_cast<size_t>(aj)] = kInf;
       status_[static_cast<size_t>(aj)] = VarStatus::AtLower;
     }
-    if (!factorize_basis(cand)) return false;
+    if (!factorize_columns(cand)) return false;
     for (int i = 0; i < m_; ++i) basis_[static_cast<size_t>(i)] = cand[static_cast<size_t>(i)];
     refresh_basics();
     return true;
   }
 
-  /// binv_ = B^{-1} for B = [columns of cand], via Gauss-Jordan with
-  /// partial pivoting; false when numerically singular.
-  bool factorize_basis(const std::vector<int>& cand) {
+  /// (Re)factorize the kernel from the given column set. The column matrix
+  /// buffer is reused across calls: cold starts and refactorizations happen
+  /// once per ~refactor_interval pivots and must not churn the allocator.
+  [[nodiscard]] bool factorize_columns(const std::vector<int>& cand) {
     const auto m = static_cast<size_t>(m_);
-    std::vector<double> a(m * m, 0.0);
+    colsbuf_.resize(m);
     for (size_t i = 0; i < m; ++i) {
-      load_column(cand[i], colbuf_);
-      for (size_t r = 0; r < m; ++r) a[r * m + i] = colbuf_[r];
+      colsbuf_[i].resize(m);
+      load_column(cand[i], colsbuf_[i]);
     }
-    std::fill(binv_.begin(), binv_.end(), 0.0);
-    for (size_t i = 0; i < m; ++i) binv_[i * m + i] = 1.0;
-    for (size_t k = 0; k < m; ++k) {
-      size_t p = k;
-      double mag = std::abs(a[k * m + k]);
-      for (size_t r = k + 1; r < m; ++r) {
-        const double v = std::abs(a[r * m + k]);
-        if (v > mag) { mag = v; p = r; }
-      }
-      if (mag <= opts_.pivot_tol) return false;
-      if (p != k) {
-        for (size_t c = 0; c < m; ++c) {
-          std::swap(a[p * m + c], a[k * m + c]);
-          std::swap(binv_[p * m + c], binv_[k * m + c]);
-        }
-      }
-      const double piv = a[k * m + k];
-      for (size_t c = 0; c < m; ++c) {
-        a[k * m + c] /= piv;
-        binv_[k * m + c] /= piv;
-      }
-      for (size_t r = 0; r < m; ++r) {
-        if (r == k) continue;
-        const double f = a[r * m + k];
-        if (f == 0.0) continue;
-        for (size_t c = 0; c < m; ++c) {
-          a[r * m + c] -= f * a[k * m + c];
-          binv_[r * m + c] -= f * binv_[k * m + c];
-        }
-      }
-    }
-    return true;
+    return kernel_->factorize(colsbuf_);
+  }
+
+  /// Refactorize from the current basis_ (after an eta-file overflow, a
+  /// pivot the kernel declined, or detected drift).
+  [[nodiscard]] bool factorize_current_basis() {
+    return factorize_columns(basis_);
   }
 
   /// Restore primal feasibility of a warm basis by pivoting an artificial
@@ -367,57 +358,57 @@ class Simplex {
       const int bv = basis_[static_cast<size_t>(worst)];
       if (is_artificial(bv)) {
         // A previously swapped-in artificial went negative: flip its column
-        // sign, which negates row `worst` of B^{-1} and the value itself.
-        flip_artificial_sign(worst, bv - n_ - m_);
+        // sign, which negates x_B[worst] and the basis column.
+        if (!flip_artificial_sign(worst, bv - n_ - m_)) return -1;
         continue;
       }
 
       // Entering artificial: unused row r with the best pivot magnitude
-      // |(B^{-1} e_r)_worst| = |binv_[worst][r]|.
+      // |(B^{-1} e_r)_worst| = row `worst` of B^{-1} at entry r, obtained
+      // from one BTRAN of the unit vector e_worst.
+      std::fill(w_.begin(), w_.end(), 0.0);
+      w_[static_cast<size_t>(worst)] = 1.0;
+      kernel_->btran(w_);
       int r = -1;
       double mag = opts_.pivot_tol;
       for (int rr = 0; rr < m_; ++rr) {
         if (status_[static_cast<size_t>(n_ + m_ + rr)] == VarStatus::Basic) continue;
-        const double v = std::abs(
-            binv_[static_cast<size_t>(worst) * static_cast<size_t>(m_) + static_cast<size_t>(rr)]);
+        const double v = std::abs(w_[static_cast<size_t>(rr)]);
         if (v > mag) { mag = v; r = rr; }
       }
       if (r < 0) return -1;
 
-      // w = B^{-1}·(art_sign_r·e_r), then the usual Gauss-Jordan pivot.
-      for (int i = 0; i < m_; ++i) {
-        w_[static_cast<size_t>(i)] =
-            art_sign_[static_cast<size_t>(r)] *
-            binv_[static_cast<size_t>(i) * static_cast<size_t>(m_) + static_cast<size_t>(r)];
-      }
-      const double piv = w_[static_cast<size_t>(worst)];
-      double* lrow = &binv_[static_cast<size_t>(worst) * static_cast<size_t>(m_)];
-      for (int k = 0; k < m_; ++k) lrow[k] /= piv;
-      for (int i = 0; i < m_; ++i) {
-        if (i == worst) continue;
-        const double f = w_[static_cast<size_t>(i)];
-        if (f == 0.0) continue;
-        double* irow = &binv_[static_cast<size_t>(i) * static_cast<size_t>(m_)];
-        for (int k = 0; k < m_; ++k) irow[k] -= f * lrow[k];
-      }
+      // w = B^{-1}·(art_sign_r·e_r), then a regular basis change.
+      std::fill(w_.begin(), w_.end(), 0.0);
+      w_[static_cast<size_t>(r)] = art_sign_[static_cast<size_t>(r)];
+      kernel_->ftran(w_);
       status_[static_cast<size_t>(bv)] = below ? VarStatus::AtLower : VarStatus::AtUpper;
       const int aj = n_ + m_ + r;
       basis_[static_cast<size_t>(worst)] = aj;
       status_[static_cast<size_t>(aj)] = VarStatus::Basic;
+      if (!kernel_->update(w_, worst) && !factorize_current_basis()) return -1;
       ++swaps;
       refresh_basics();
-      if (xb_[static_cast<size_t>(worst)] < 0.0) flip_artificial_sign(worst, r);
+      if (xb_[static_cast<size_t>(worst)] < 0.0 &&
+          !flip_artificial_sign(worst, r)) {
+        return -1;
+      }
     }
     return -1;  // did not settle; give up and cold-start
   }
 
   /// Negate artificial row `r`'s column sign while basic at position `pos`:
-  /// B gains a -1 on that column, so row `pos` of B^{-1} and x_B[pos] flip.
-  void flip_artificial_sign(int pos, int r) {
+  /// B gains a -1 on that column, so x_B[pos] flips. For the kernel this is
+  /// a product-form update replacing column `pos` with its own negation
+  /// (w = B^{-1}·(-old col) = -e_pos). Returns false when the kernel had to
+  /// refactorize and even that failed.
+  [[nodiscard]] bool flip_artificial_sign(int pos, int r) {
     art_sign_[static_cast<size_t>(r)] = -art_sign_[static_cast<size_t>(r)];
-    double* row = &binv_[static_cast<size_t>(pos) * static_cast<size_t>(m_)];
-    for (int k = 0; k < m_; ++k) row[k] = -row[k];
+    std::fill(w_.begin(), w_.end(), 0.0);
+    w_[static_cast<size_t>(pos)] = -1.0;
+    if (!kernel_->update(w_, pos) && !factorize_current_basis()) return false;
     xb_[static_cast<size_t>(pos)] = -xb_[static_cast<size_t>(pos)];
+    return true;
   }
 
   /// Fix every nonbasic artificial at zero so warm-start Phase 1 prices
@@ -444,14 +435,12 @@ class Simplex {
   }
 
   void compute_duals() {
-    // y = c_B^T B^{-1}
-    std::fill(y_.begin(), y_.end(), 0.0);
+    // y solves B^T y = c_B  (y = c_B^T B^{-1}): one BTRAN.
     for (int k = 0; k < m_; ++k) {
-      const double cb = cost_[static_cast<size_t>(basis_[static_cast<size_t>(k)])];
-      if (cb == 0.0) continue;
-      const double* row = &binv_[static_cast<size_t>(k) * static_cast<size_t>(m_)];
-      for (int i = 0; i < m_; ++i) y_[static_cast<size_t>(i)] += cb * row[i];
+      y_[static_cast<size_t>(k)] =
+          cost_[static_cast<size_t>(basis_[static_cast<size_t>(k)])];
     }
+    kernel_->btran(y_);
   }
 
   /// Recompute x_B = B^{-1}(b - N x_N) from scratch (drift control).
@@ -472,12 +461,8 @@ class Simplex {
             art_sign_[static_cast<size_t>(j - n_ - m_)] * xv;
       }
     }
-    for (int i = 0; i < m_; ++i) {
-      const double* row = &binv_[static_cast<size_t>(i) * static_cast<size_t>(m_)];
-      double v = 0.0;
-      for (int k = 0; k < m_; ++k) v += row[k] * rhs[static_cast<size_t>(k)];
-      xb_[static_cast<size_t>(i)] = v;
-    }
+    kernel_->ftran(rhs);
+    xb_ = std::move(rhs);
   }
 
   /// Core pricing/pivot loop with the current cost vector.
@@ -511,15 +496,21 @@ class Simplex {
           status_[static_cast<size_t>(q)] == VarStatus::AtLower ? 1.0 : -1.0;
 
       // --- FTRAN: w = B^{-1} A_q.
-      load_column(q, colbuf_);
-      for (int i = 0; i < m_; ++i) {
-        const double* row = &binv_[static_cast<size_t>(i) * static_cast<size_t>(m_)];
-        double v = 0.0;
-        for (int k = 0; k < m_; ++k) v += row[k] * colbuf_[static_cast<size_t>(k)];
-        w_[static_cast<size_t>(i)] = v;
-      }
+      load_column(q, w_);
+      kernel_->ftran(w_);
 
-      // --- Ratio test.
+      // --- Ratio test. Ties are normally broken toward the largest pivot
+      // magnitude (numerical stability); under Bland's rule they must be
+      // broken toward the smallest basis-variable index instead, or the
+      // anti-cycling guarantee is void and degenerate LPs can still loop.
+      const auto tie_break = [&](int i, int leave) {
+        if (bland) {
+          return basis_[static_cast<size_t>(i)] <
+                 basis_[static_cast<size_t>(leave)];
+        }
+        return std::abs(w_[static_cast<size_t>(i)]) >
+               std::abs(w_[static_cast<size_t>(leave)]);
+      };
       double t_max = kInf;
       if (std::isfinite(lower(q)) && std::isfinite(upper(q))) {
         t_max = upper(q) - lower(q);  // bound flip distance
@@ -533,9 +524,7 @@ class Simplex {
           if (std::isfinite(lower(bv))) {
             const double t = (xb_[static_cast<size_t>(i)] - lower(bv)) / wd;
             if (t < t_max - 1e-12 ||
-                (t < t_max + 1e-12 && leave >= 0 &&
-                 std::abs(w_[static_cast<size_t>(i)]) >
-                     std::abs(w_[static_cast<size_t>(leave)]))) {
+                (t < t_max + 1e-12 && leave >= 0 && tie_break(i, leave))) {
               t_max = std::max(t, 0.0);
               leave = i;
               leave_to = VarStatus::AtLower;
@@ -545,9 +534,7 @@ class Simplex {
           if (std::isfinite(upper(bv))) {
             const double t = (upper(bv) - xb_[static_cast<size_t>(i)]) / (-wd);
             if (t < t_max - 1e-12 ||
-                (t < t_max + 1e-12 && leave >= 0 &&
-                 std::abs(w_[static_cast<size_t>(i)]) >
-                     std::abs(w_[static_cast<size_t>(leave)]))) {
+                (t < t_max + 1e-12 && leave >= 0 && tie_break(i, leave))) {
               t_max = std::max(t, 0.0);
               leave = i;
               leave_to = VarStatus::AtUpper;
@@ -580,24 +567,21 @@ class Simplex {
         continue;
       }
 
-      // --- Pivot: update B^{-1} with w (Gauss-Jordan on the leaving row).
+      // --- Pivot: hand w to the kernel (eta append for LU, Gauss-Jordan
+      // pivot for the dense reference). When the kernel declines — eta file
+      // full or pivot too small relative to ||w||_inf — refactorize from
+      // the updated basis columns instead.
       const double piv = w_[static_cast<size_t>(leave)];
       if (std::abs(piv) < opts_.pivot_tol) return LpStatus::IterationLimit;
-      double* lrow = &binv_[static_cast<size_t>(leave) * static_cast<size_t>(m_)];
-      for (int k = 0; k < m_; ++k) lrow[k] /= piv;
-      for (int i = 0; i < m_; ++i) {
-        if (i == leave) continue;
-        const double f = w_[static_cast<size_t>(i)];
-        if (f == 0.0) continue;
-        double* irow = &binv_[static_cast<size_t>(i) * static_cast<size_t>(m_)];
-        for (int k = 0; k < m_; ++k) irow[k] -= f * lrow[k];
-      }
-
       const int leaving_var = basis_[static_cast<size_t>(leave)];
       status_[static_cast<size_t>(leaving_var)] = leave_to;
       basis_[static_cast<size_t>(leave)] = q;
       status_[static_cast<size_t>(q)] = VarStatus::Basic;
       xb_[static_cast<size_t>(leave)] = xq_new;
+      if (!kernel_->update(w_, leave)) {
+        if (!factorize_current_basis()) return LpStatus::IterationLimit;
+        refresh_basics();
+      }
 
       if (debug_) {
         std::vector<double> saved = xb_;
@@ -617,27 +601,43 @@ class Simplex {
           }
         }
       } else if ((iter + 1) % opts_.refresh_interval == 0) {
+        // Periodic drift control: recompute x_B from scratch and compare
+        // with the incrementally updated values. Disagreement beyond
+        // round-off means the factorization itself has drifted (long eta
+        // chains accumulate error) — refactorize and recompute.
+        std::vector<double> saved = xb_;
         refresh_basics();
+        double drift = 0.0;
+        for (int i = 0; i < m_; ++i) {
+          drift = std::max(drift, std::abs(saved[static_cast<size_t>(i)] -
+                                           xb_[static_cast<size_t>(i)]));
+        }
+        if (drift > 1e-7 * (1.0 + bnorm_)) {
+          if (!factorize_current_basis()) return LpStatus::IterationLimit;
+          refresh_basics();
+        }
       }
     }
     return LpStatus::IterationLimit;
   }
 
   /// After a successful phase 1, pivot zero-valued artificials out of the
-  /// basis where possible and freeze all artificials at zero.
-  void drive_out_artificials() {
+  /// basis where possible and freeze all artificials at zero. Returns false
+  /// only when a post-pivot refactorization failed (kernel unusable).
+  [[nodiscard]] bool drive_out_artificials() {
     for (int i = 0; i < m_; ++i) {
       const int bv = basis_[static_cast<size_t>(i)];
       if (!is_artificial(bv)) continue;
-      // Find a replacement column with a usable pivot in row i.
+      // Row i of B^{-1} (one BTRAN of e_i) prices every candidate column's
+      // pivot element w_ij = (B^{-1} A_j)_i as a sparse dot product.
+      std::fill(w_.begin(), w_.end(), 0.0);
+      w_[static_cast<size_t>(i)] = 1.0;
+      kernel_->btran(w_);
       int pick = -1;
       double pick_mag = 1e-7;  // require a well-conditioned pivot
       for (int j = 0; j < n_ + m_; ++j) {
         if (status_[static_cast<size_t>(j)] == VarStatus::Basic) continue;
-        load_column(j, colbuf_);
-        const double* row = &binv_[static_cast<size_t>(i) * static_cast<size_t>(m_)];
-        double wij = 0.0;
-        for (int k = 0; k < m_; ++k) wij += row[k] * colbuf_[static_cast<size_t>(k)];
+        const double wij = dot_column(j, w_);
         if (std::abs(wij) > pick_mag) {
           pick_mag = std::abs(wij);
           pick = j;
@@ -646,23 +646,9 @@ class Simplex {
       }
       if (pick >= 0) {
         // Degenerate pivot: artificial leaves at value 0.
-        load_column(pick, colbuf_);
-        for (int r = 0; r < m_; ++r) {
-          const double* row = &binv_[static_cast<size_t>(r) * static_cast<size_t>(m_)];
-          double v = 0.0;
-          for (int k = 0; k < m_; ++k) v += row[k] * colbuf_[static_cast<size_t>(k)];
-          w_[static_cast<size_t>(r)] = v;
-        }
+        load_column(pick, w_);
+        kernel_->ftran(w_);
         const double piv = w_[static_cast<size_t>(i)];
-        double* lrow = &binv_[static_cast<size_t>(i) * static_cast<size_t>(m_)];
-        for (int k = 0; k < m_; ++k) lrow[k] /= piv;
-        for (int r = 0; r < m_; ++r) {
-          if (r == i) continue;
-          const double f = w_[static_cast<size_t>(r)];
-          if (f == 0.0) continue;
-          double* rrow = &binv_[static_cast<size_t>(r) * static_cast<size_t>(m_)];
-          for (int k = 0; k < m_; ++k) rrow[k] -= f * lrow[k];
-        }
         status_[static_cast<size_t>(bv)] = VarStatus::AtLower;
         basis_[static_cast<size_t>(i)] = pick;
         status_[static_cast<size_t>(pick)] = VarStatus::Basic;
@@ -674,6 +660,9 @@ class Simplex {
         // The artificial leaves at value `keep` (≈ 0 after a successful
         // phase 1); the entering variable moves by keep/piv off its bound.
         xb_[static_cast<size_t>(i)] = nonbasic_value(pick) + keep / piv;
+        if (!kernel_->update(w_, i) && !factorize_current_basis()) {
+          return false;
+        }
       }
     }
     // Freeze artificials.
@@ -683,6 +672,7 @@ class Simplex {
       ub_[static_cast<size_t>(aj)] = 0.0;
     }
     refresh_basics();
+    return true;
   }
 
   void extract_solution(LpResult& res) {
@@ -769,8 +759,9 @@ class Simplex {
   std::vector<double> art_sign_;
   std::vector<int> basis_;
   std::vector<double> xb_;
-  std::vector<double> binv_;  ///< m×m row-major
-  std::vector<double> y_, w_, colbuf_;
+  std::unique_ptr<BasisKernel> kernel_;  ///< LU/eta (default) or dense B^{-1}
+  std::vector<std::vector<double>> colsbuf_;  ///< factorize_columns scratch
+  std::vector<double> y_, w_;
 };
 
 }  // namespace

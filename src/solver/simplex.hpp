@@ -1,9 +1,13 @@
 // Two-phase primal simplex for bounded-variable linear programs.
 //
-// Implements the classic revised simplex with an explicit dense basis
-// inverse, upper-bounding technique (bound flips instead of rows for box
-// constraints), artificial-variable phase 1, Dantzig pricing with a Bland
-// fallback for anti-cycling, and periodic recomputation of the basic
+// Implements the classic revised simplex on top of a pluggable basis
+// factorization kernel (solver/basis_lu.hpp): LU with partial pivoting plus
+// product-form eta updates by default — refactorizing after a bounded number
+// of pivots or on accuracy drift — with the pre-LU explicit dense inverse
+// retained as a test/bench reference. Upper-bounding technique (bound flips
+// instead of rows for box constraints), artificial-variable phase 1, Dantzig
+// pricing with a Bland fallback for anti-cycling (including Bland-consistent
+// leaving-variable tie-breaks), and periodic recomputation of the basic
 // solution to bound numerical drift.
 //
 // The solver reports, at optimality, the row duals y_i = ∂obj/∂rhs_i and
@@ -66,6 +70,12 @@ struct SimplexOptions {
   double opt_tol = 1e-7;     ///< dual (reduced-cost) tolerance
   double pivot_tol = 1e-9;   ///< minimum pivot magnitude
   int refresh_interval = 64; ///< recompute x_B from scratch every N pivots
+  /// LU kernel: refactorize after this many product-form (eta) updates.
+  int refactor_interval = 64;
+  /// Use the explicit dense Gauss-Jordan B^{-1} instead of the LU/eta
+  /// kernel. O(m^2) per pivot and O(m^3) per factorization — retained only
+  /// as a cross-check reference for tests and benchmarks.
+  bool dense_basis_inverse = false;
 };
 
 /// Solve `model` (ignoring integrality markers). Thread-compatible: no

@@ -263,6 +263,46 @@ TEST(Simplex, DegenerateProblemTerminates) {
   EXPECT_NEAR(r.objective, -1.0, 1e-8);
 }
 
+TEST(Simplex, BealeCyclingLpTerminatesAtOptimum) {
+  // Beale's classic cycling example: under Dantzig pricing with naive
+  // tie-breaking the simplex revisits the same degenerate bases forever.
+  // The anti-cycling guard (Bland's rule after a degenerate streak, with
+  // Bland-consistent smallest-index tie-breaks in the ratio test) must
+  // terminate at the optimum -1/20 at x = (1/25, 0, 1, 0).
+  LpModel m;
+  const int x1 = m.add_variable("x1", 0, kInf, -0.75);
+  const int x2 = m.add_variable("x2", 0, kInf, 150.0);
+  const int x3 = m.add_variable("x3", 0, kInf, -0.02);
+  const int x4 = m.add_variable("x4", 0, kInf, 6.0);
+  m.add_row("r1", RowSense::LessEq, 0.0,
+            {{x1, 0.25}, {x2, -60.0}, {x3, -0.04}, {x4, 9.0}});
+  m.add_row("r2", RowSense::LessEq, 0.0,
+            {{x1, 0.5}, {x2, -90.0}, {x3, -0.02}, {x4, 3.0}});
+  m.add_row("r3", RowSense::LessEq, 1.0, {{x3, 1.0}});
+  const LpResult r = solve_lp(m);
+  ASSERT_EQ(r.status, LpStatus::Optimal);
+  EXPECT_NEAR(r.objective, -0.05, 1e-8);
+  EXPECT_LT(m.max_violation(r.x), 1e-8);
+}
+
+TEST(Simplex, HighlyDegenerateTiedRowsTerminate) {
+  // Many duplicated rows force ties in every ratio test; the solve must
+  // still finish well inside the iteration limit.
+  LpModel m;
+  const int x = m.add_variable("x", 0, kInf, -1.0);
+  const int y = m.add_variable("y", 0, kInf, -1.0);
+  const int z = m.add_variable("z", 0, kInf, -1.0);
+  for (int i = 0; i < 12; ++i) {
+    m.add_row("d" + std::to_string(i), RowSense::LessEq, 2.0,
+              {{x, 1.0}, {y, 1.0}, {z, 1.0}});
+  }
+  SimplexOptions opts;
+  opts.max_iterations = 500;
+  const LpResult r = solve_lp(m, opts);
+  ASSERT_EQ(r.status, LpStatus::Optimal);
+  EXPECT_NEAR(r.objective, -2.0, 1e-8);
+}
+
 TEST(Simplex, RedundantEqualityRows) {
   LpModel m;
   const int x = m.add_variable("x", 0, 10, 1.0);
@@ -408,6 +448,100 @@ TEST(SimplexWarm, RepairAfterBranchingBoundChange) {
       EXPECT_LT(child.max_violation(warm.x), 1e-7);
     }
   }
+}
+
+TEST(SimplexWarm, BadlyScaledBasisSurvivesRelativePivotCheck) {
+  // Regression for the absolute-singularity bug. Rows in ~1e-7 units (think
+  // rates accidentally expressed in Gb/s instead of raw Mb/s) make the
+  // optimal basis's second elimination pivot 1e-10 — below the absolute
+  // pivot_tol (1e-9) the old factorize_basis used, so the warm basis was
+  // declared singular and silently fell back to a cold start. The LU
+  // kernel's per-column *relative* threshold (1e-10 vs a ~1e-7 column)
+  // accepts it and re-verifies optimality in zero pivots.
+  LpModel m;
+  const int x = m.add_variable("x", 0.0, 10.0, -2.0);
+  const int y = m.add_variable("y", 0.0, 10.0, -2.0005);
+  m.add_row("r1", RowSense::LessEq, 8.0 * 1e-7, {{x, 1e-7}, {y, 1e-7}});
+  m.add_row("r2", RowSense::LessEq, 2.0 * 1e-7 + 6.0 * 1.001e-7,
+            {{x, 1e-7}, {y, 1.001e-7}});
+  // Optimal vertex: both rows binding at (2, 6), objective -16.003.
+  Basis basis;
+  basis.num_vars = 2;
+  basis.num_rows = 2;
+  basis.status = {Basis::Status::Basic, Basis::Status::Basic,
+                  Basis::Status::AtLower, Basis::Status::AtLower};
+
+  const LpResult warm = solve_lp(m, {}, &basis);
+  ASSERT_EQ(warm.status, LpStatus::Optimal);
+  EXPECT_TRUE(warm.used_warm_start);
+  EXPECT_EQ(warm.iterations, 0);
+  EXPECT_NEAR(warm.objective, -16.003, 1e-6);
+  EXPECT_NEAR(warm.x[0], 2.0, 1e-6);
+  EXPECT_NEAR(warm.x[1], 6.0, 1e-6);
+
+  // The dense reference kernel keeps the historical absolute test and falls
+  // back to a cold start — documenting the behaviour the relative
+  // threshold fixes.
+  SimplexOptions dense;
+  dense.dense_basis_inverse = true;
+  const LpResult dense_warm = solve_lp(m, dense, &basis);
+  ASSERT_EQ(dense_warm.status, LpStatus::Optimal);
+  EXPECT_FALSE(dense_warm.used_warm_start);
+}
+
+TEST(Simplex, IterationLimitResultCarriesNoSolution) {
+  // A limit-hit LP must be detectable and carry no primal/dual vectors a
+  // caller could mistake for an optimum.
+  LpModel m;
+  RngStream rng(404);
+  for (int j = 0; j < 8; ++j) {
+    m.add_variable("x" + std::to_string(j), 0.0, 10.0, rng.uniform(-3.0, 3.0));
+  }
+  for (int i = 0; i < 6; ++i) {
+    std::vector<Coef> coefs;
+    for (int j = 0; j < 8; ++j) coefs.push_back({j, rng.uniform(0.1, 2.0)});
+    m.add_row("r" + std::to_string(i), RowSense::GreaterEq, 4.0,
+              std::move(coefs));
+  }
+  SimplexOptions opts;
+  opts.max_iterations = 1;
+  const LpResult r = solve_lp(m, opts);
+  ASSERT_EQ(r.status, LpStatus::IterationLimit);
+  EXPECT_TRUE(r.x.empty());
+  EXPECT_TRUE(r.row_duals.empty());
+  EXPECT_TRUE(r.basis.empty());
+}
+
+TEST(Milp, TinyLpIterationLimitNeverClaimsOptimal) {
+  // Regression for the IterationLimit-propagation audit: when every node LP
+  // dies at the iteration limit, branch-and-bound must report NoSolution
+  // (or a Feasible incumbent with a conservative bound) — never Optimal,
+  // and never an x it did not prove feasible.
+  RngStream rng(512);
+  LpModel m;
+  std::vector<Coef> c1, c2;
+  for (int j = 0; j < 10; ++j) {
+    m.add_binary("b" + std::to_string(j), -rng.uniform(1.0, 10.0));
+    c1.push_back({j, rng.uniform(1.0, 5.0)});
+    c2.push_back({j, rng.uniform(1.0, 5.0)});
+  }
+  m.add_row("cap1", RowSense::LessEq, 8.0, c1);
+  m.add_row("cap2", RowSense::LessEq, 8.0, c2);
+
+  const MilpResult reference = solve_milp(m);
+  ASSERT_EQ(reference.status, MilpStatus::Optimal);
+
+  MilpOptions starved;
+  starved.lp.max_iterations = 1;  // every LP (warm and cold retry) hits it
+  const MilpResult r = solve_milp(m, starved);
+  EXPECT_NE(r.status, MilpStatus::Optimal);
+  EXPECT_NE(r.status, MilpStatus::Infeasible);  // nothing was *proved*
+  if (r.status == MilpStatus::Feasible) {
+    EXPECT_LT(m.max_violation(r.x), 1e-6);
+    EXPECT_LE(r.best_bound, r.objective + 1e-9);
+  }
+  // Whatever bound is reported must not exceed the true optimum.
+  EXPECT_LE(r.best_bound, reference.objective + 1e-9);
 }
 
 // Warm vs cold on randomized LPs (same generator family as
