@@ -8,6 +8,17 @@
 #include "common/stats.hpp"
 #include "topo/generators.hpp"
 
+namespace {
+
+struct TopoStats {
+  std::size_t num_bs = 0;
+  double mean_paths = 0.0;
+  double max_dist = 0.0;
+  ovnes::EmpiricalDistribution capacity_gbps, delay_us;
+};
+
+}  // namespace
+
 int main() {
   using namespace ovnes;
   const double scale = bench::fast_mode() ? 0.04 : 0.12;
@@ -15,45 +26,53 @@ int main() {
 
   std::printf("# Fig 4(d)-(e): path capacity / delay CDFs (scale=%.2f, k=%zu)\n",
               scale, k);
-  for (const std::string& name : bench::topologies()) {
-    const topo::Topology t = topo::make_operator(name, {scale, 7});
+  // Yen's k-shortest-paths over three operator metros is the expensive
+  // part; analyze the topologies concurrently, print in order.
+  const auto& names = bench::topologies();
+  std::vector<TopoStats> stats(names.size());
+  exec::ThreadPool::global().parallel_for(0, names.size(), [&](std::size_t ti) {
+    const topo::Topology t = topo::make_operator(names[ti], {scale, 7});
     const topo::PathCatalog cat(t, k);
-
-    EmpiricalDistribution capacity_gbps, delay_us;
-    double max_dist = 0.0;
+    TopoStats& s = stats[ti];
+    s.num_bs = t.num_bs();
+    s.mean_paths = cat.mean_paths_per_pair();
     for (const topo::CandidatePath& p : cat.all()) {
       // Paths to the core CU traverse the unconstrained virtual WAN link;
       // Fig. 4 describes the physical metro network, so measure BS->edge.
       if (t.cu(p.cu).is_edge) {
-        capacity_gbps.add(p.bottleneck / 1000.0);
-        delay_us.add(p.delay);
+        s.capacity_gbps.add(p.bottleneck / 1000.0);
+        s.delay_us.add(p.delay);
       }
     }
     for (const topo::BaseStation& bs : t.base_stations()) {
       for (const topo::ComputeUnit& cu : t.compute_units()) {
         if (cu.is_edge) {
-          max_dist = std::max(max_dist, t.graph.distance(bs.node, cu.node));
+          s.max_dist = std::max(s.max_dist, t.graph.distance(bs.node, cu.node));
         }
       }
     }
+  });
 
+  for (std::size_t ti = 0; ti < names.size(); ++ti) {
+    const std::string& name = names[ti];
+    TopoStats& s = stats[ti];
     Row summary("fig4_summary");
     summary.set("topo", name)
-        .set("num_bs", t.num_bs())
-        .set("mean_paths_per_bs", cat.mean_paths_per_pair())
-        .set("cap_min_gbps", capacity_gbps.min())
-        .set("cap_max_gbps", capacity_gbps.max())
-        .set("delay_p50_us", delay_us.quantile(0.5))
-        .set("delay_p95_us", delay_us.quantile(0.95))
-        .set("max_bs_cu_km", max_dist);
+        .set("num_bs", s.num_bs)
+        .set("mean_paths_per_bs", s.mean_paths)
+        .set("cap_min_gbps", s.capacity_gbps.min())
+        .set("cap_max_gbps", s.capacity_gbps.max())
+        .set("delay_p50_us", s.delay_us.quantile(0.5))
+        .set("delay_p95_us", s.delay_us.quantile(0.95))
+        .set("max_bs_cu_km", s.max_dist);
     summary.print();
 
-    for (const auto& [x, y] : capacity_gbps.cdf_series(16)) {
+    for (const auto& [x, y] : s.capacity_gbps.cdf_series(16)) {
       Row row("fig4d");
       row.set("topo", name).set("capacity_gbps", x).set("cdf", y);
       row.print();
     }
-    for (const auto& [x, y] : delay_us.cdf_series(16)) {
+    for (const auto& [x, y] : s.delay_us.cdf_series(16)) {
       Row row("fig4e");
       row.set("topo", name).set("delay_us", x).set("cdf", y);
       row.print();

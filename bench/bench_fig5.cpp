@@ -7,7 +7,12 @@
 // mMTC always runs with σ = 0 (deterministic load), so its σ sweep
 // degenerates — rows are emitted once with sigma=0 for that type.
 // The baseline is independent of (α, σ, m): it reserves the full SLA.
+//
+// Two parallel phases on the exec pool (OVNES_THREADS wide): the 9
+// baselines first, then the full grid with every point's gain computed
+// against its stored baseline. Row order matches the old sequential loops.
 #include <cstdio>
+#include <map>
 
 #include "bench_util.hpp"
 
@@ -23,25 +28,39 @@ int main() {
   const std::vector<double> penalties = bench::fast_mode()
                                             ? std::vector<double>{1.0, 16.0}
                                             : std::vector<double>{1.0, 4.0, 16.0};
+  const std::vector<slice::SliceType> types = {
+      slice::SliceType::eMBB, slice::SliceType::mMTC, slice::SliceType::uRLLC};
 
   std::printf("# Fig 5: net revenue gain %% over no-overbooking "
               "(homogeneous slices)\n");
+
+  // ---- Phase 1: one baseline per (topo, type), evaluated concurrently.
+  bench::ScenarioSweep baselines;
+  std::map<std::pair<std::string, int>, double> baseline_revenue;
   for (const std::string& topo : bench::topologies()) {
     const std::size_t n = bench::tenant_count(topo);
-    for (slice::SliceType type :
-         {slice::SliceType::eMBB, slice::SliceType::mMTC, slice::SliceType::uRLLC}) {
-      // Baseline once per (topo, type): full-SLA reservation.
+    for (slice::SliceType type : types) {
       ScenarioConfig base = base_scenario(topo, Algorithm::NoOverbooking, 11);
       base.tenants = homogeneous(type, n, 0.5, 0.0, 1.0);
-      const ScenarioResult baseline = run_scenario(base);
-      Row brow("fig5_baseline");
-      brow.set("topo", topo)
-          .set("type", std::string(slice::to_string(type)))
-          .set("revenue", baseline.mean_net_revenue)
-          .set("accepted", baseline.accepted)
-          .set("tenants", n);
-      brow.print();
+      baselines.add(base, [&, topo, type, n](const ScenarioResult& r) {
+        baseline_revenue[{topo, static_cast<int>(type)}] = r.mean_net_revenue;
+        Row brow("fig5_baseline");
+        brow.set("topo", topo)
+            .set("type", std::string(slice::to_string(type)))
+            .set("revenue", r.mean_net_revenue)
+            .set("accepted", r.accepted)
+            .set("tenants", n);
+        brow.print();
+      });
+    }
+  }
+  baselines.run();
 
+  // ---- Phase 2: the full (α, σ, m, algo) grid against the baselines.
+  bench::ScenarioSweep grid;
+  for (const std::string& topo : bench::topologies()) {
+    const std::size_t n = bench::tenant_count(topo);
+    for (slice::SliceType type : types) {
       for (double alpha : alphas) {
         for (double sigma : sigmas) {
           if (type == slice::SliceType::mMTC && sigma > 0.0) continue;
@@ -53,31 +72,34 @@ int main() {
             for (Algorithm algo : {Algorithm::Benders, Algorithm::Kac}) {
               ScenarioConfig cfg = base_scenario(topo, algo, 11);
               cfg.tenants = homogeneous(type, n, alpha, sigma, m);
-              const ScenarioResult r = run_scenario(cfg);
-              const double gain =
-                  baseline.mean_net_revenue > 0.0
-                      ? 100.0 * (r.mean_net_revenue - baseline.mean_net_revenue) /
-                            baseline.mean_net_revenue
-                      : 0.0;
-              Row row("fig5");
-              row.set("topo", topo)
-                  .set("type", std::string(slice::to_string(type)))
-                  .set("alpha", alpha)
-                  .set("sigma_ratio", sigma)
-                  .set("m", m)
-                  .set("algo", std::string(to_string(algo)))
-                  .set("revenue", r.mean_net_revenue)
-                  .set("gain_pct", gain)
-                  .set("accepted", r.accepted)
-                  .set("violation_prob", r.violation_prob)
-                  .set("epochs", r.epochs);
-              row.print();
-              std::fflush(stdout);
+              grid.add(cfg, [&, topo, type, alpha, sigma, m,
+                             algo](const ScenarioResult& r) {
+                const double baseline =
+                    baseline_revenue[{topo, static_cast<int>(type)}];
+                const double gain =
+                    baseline > 0.0
+                        ? 100.0 * (r.mean_net_revenue - baseline) / baseline
+                        : 0.0;
+                Row row("fig5");
+                row.set("topo", topo)
+                    .set("type", std::string(slice::to_string(type)))
+                    .set("alpha", alpha)
+                    .set("sigma_ratio", sigma)
+                    .set("m", m)
+                    .set("algo", std::string(to_string(algo)))
+                    .set("revenue", r.mean_net_revenue)
+                    .set("gain_pct", gain)
+                    .set("accepted", r.accepted)
+                    .set("violation_prob", r.violation_prob)
+                    .set("epochs", r.epochs);
+                row.print();
+              });
             }
           }
         }
       }
     }
   }
+  grid.run();
   return 0;
 }

@@ -30,8 +30,12 @@ int main() {
           : std::vector<std::pair<double, double>>{{0.0, 1.0}, {0.25, 1.0},
                                                    {0.5, 1.0}, {0.25, 16.0}};
 
+  // Every grid point is independent: enqueue the whole grid (baseline
+  // rows included) and fan it across the exec pool; rows come out in the
+  // original loop order.
   std::printf("# Fig 6: net revenue (monetary units), heterogeneous mixes, "
               "mean load 0.2Λ\n");
+  bench::ScenarioSweep sweep;
   for (const std::string& topo : bench::topologies()) {
     const std::size_t n = bench::tenant_count(topo);
     for (const auto& [type_a, type_b] : mixes) {
@@ -42,33 +46,36 @@ int main() {
         {
           ScenarioConfig cfg = bench::base_scenario(topo, Algorithm::NoOverbooking, 23);
           cfg.tenants = heterogeneous(type_a, type_b, n, beta, alpha, 0.0, 1.0);
-          const ScenarioResult r = run_scenario(cfg);
-          Row row("fig6");
-          row.set("topo", topo).set("mix", mix).set("beta", beta)
-              .set("algo", std::string("no_overbooking"))
-              .set("sigma_ratio", 0.0).set("m", 1.0)
-              .set("revenue", r.mean_net_revenue)
-              .set("accepted", r.accepted);
-          row.print();
+          sweep.add(cfg, [topo, mix, beta](const ScenarioResult& r) {
+            Row row("fig6");
+            row.set("topo", topo).set("mix", mix).set("beta", beta)
+                .set("algo", std::string("no_overbooking"))
+                .set("sigma_ratio", 0.0).set("m", 1.0)
+                .set("revenue", r.mean_net_revenue)
+                .set("accepted", r.accepted);
+            row.print();
+          });
         }
         for (const auto& [sigma, m] : sweeps) {
           for (Algorithm algo : {Algorithm::Benders, Algorithm::Kac}) {
             ScenarioConfig cfg = bench::base_scenario(topo, algo, 23);
             cfg.tenants = heterogeneous(type_a, type_b, n, beta, alpha, sigma, m);
-            const ScenarioResult r = run_scenario(cfg);
-            Row row("fig6");
-            row.set("topo", topo).set("mix", mix).set("beta", beta)
-                .set("algo", std::string(to_string(algo)))
-                .set("sigma_ratio", sigma).set("m", m)
-                .set("revenue", r.mean_net_revenue)
-                .set("accepted", r.accepted)
-                .set("violation_prob", r.violation_prob);
-            row.print();
-            std::fflush(stdout);
+            sweep.add(cfg, [topo, mix, beta, sigma = sigma, m = m,
+                            algo](const ScenarioResult& r) {
+              Row row("fig6");
+              row.set("topo", topo).set("mix", mix).set("beta", beta)
+                  .set("algo", std::string(to_string(algo)))
+                  .set("sigma_ratio", sigma).set("m", m)
+                  .set("revenue", r.mean_net_revenue)
+                  .set("accepted", r.accepted)
+                  .set("violation_prob", r.violation_prob);
+              row.print();
+            });
           }
         }
       }
     }
   }
+  sweep.run();
   return 0;
 }

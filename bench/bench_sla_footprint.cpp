@@ -27,6 +27,7 @@ int main() {
 
   std::printf("# SLA footprint (§4.3.3): violation probability and drop "
               "fraction under overbooking\n");
+  bench::ScenarioSweep sweep;  // parallel grid, ordered output
   for (const std::string& topo : bench::topologies()) {
     for (const Config& c : configs) {
       for (double alpha : {0.2, 0.5}) {
@@ -35,21 +36,22 @@ int main() {
         cfg.tenants = homogeneous(slice::SliceType::eMBB,
                                   bench::tenant_count(topo), alpha,
                                   c.sigma_ratio, c.m);
-        const ScenarioResult r = run_scenario(cfg);
-        Row row("sla_footprint");
-        row.set("topo", topo)
-            .set("config", std::string(c.label))
-            .set("alpha", alpha)
-            .set("sigma_ratio", c.sigma_ratio)
-            .set("m", c.m)
-            .set("violation_prob_pct", 100.0 * r.violation_prob)
-            .set("max_drop_pct", 100.0 * r.max_drop_fraction)
-            .set("accepted", r.accepted)
-            .set("revenue", r.mean_net_revenue);
-        row.print();
-        std::fflush(stdout);
+        sweep.add(cfg, [topo, c, alpha](const ScenarioResult& r) {
+          Row row("sla_footprint");
+          row.set("topo", topo)
+              .set("config", std::string(c.label))
+              .set("alpha", alpha)
+              .set("sigma_ratio", c.sigma_ratio)
+              .set("m", c.m)
+              .set("violation_prob_pct", 100.0 * r.violation_prob)
+              .set("max_drop_pct", 100.0 * r.max_drop_fraction)
+              .set("accepted", r.accepted)
+              .set("revenue", r.mean_net_revenue);
+          row.print();
+        });
       }
     }
   }
+  sweep.run();
   return 0;
 }

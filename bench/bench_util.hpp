@@ -3,13 +3,23 @@
 // Every bench prints `key=value` rows (common/table.hpp) so the output can
 // be grepped into plots. Scales and grids default to the values used for
 // EXPERIMENTS.md; set OVNES_FAST=1 for a quick smoke-size run.
+//
+// Grid evaluation is parallel: benches enqueue their whole scenario grid
+// into a ScenarioSweep, which fans the independent points across the
+// OVNES_THREADS-wide exec pool and then emits rows in insertion order —
+// output is byte-identical to the old sequential loops at any thread
+// count, only wall-clock shrinks.
 #pragma once
 
+#include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/table.hpp"
+#include "exec/thread_pool.hpp"
 #include "orch/scenario.hpp"
 
 namespace ovnes::bench {
@@ -54,5 +64,36 @@ inline orch::ScenarioConfig base_scenario(const std::string& topo,
   cfg.milp.time_limit_sec = 15.0;
   return cfg;
 }
+
+/// Deferred-output scenario batch: `add` a config plus the emitter that
+/// turns its result into row text; `run` evaluates the whole batch
+/// concurrently (orch::run_scenarios on the global exec pool) and then
+/// invokes the emitters in insertion order, so stdout stays deterministic
+/// while the solves use every core OVNES_THREADS allows.
+class ScenarioSweep {
+ public:
+  using Emitter = std::function<void(const orch::ScenarioResult&)>;
+
+  void add(orch::ScenarioConfig cfg, Emitter emit) {
+    cfgs_.push_back(std::move(cfg));
+    emitters_.push_back(std::move(emit));
+  }
+
+  [[nodiscard]] std::size_t size() const { return cfgs_.size(); }
+
+  /// Evaluate, emit, clear; returns the results (insertion order).
+  std::vector<orch::ScenarioResult> run() {
+    std::vector<orch::ScenarioResult> results = orch::run_scenarios(cfgs_);
+    for (std::size_t i = 0; i < results.size(); ++i) emitters_[i](results[i]);
+    std::fflush(stdout);
+    cfgs_.clear();
+    emitters_.clear();
+    return results;
+  }
+
+ private:
+  std::vector<orch::ScenarioConfig> cfgs_;
+  std::vector<Emitter> emitters_;
+};
 
 }  // namespace ovnes::bench

@@ -5,6 +5,9 @@
 #include <cmath>
 #include <map>
 #include <stdexcept>
+#include <string>
+
+#include "exec/thread_pool.hpp"
 
 namespace ovnes::acrr {
 
@@ -232,7 +235,27 @@ AdmissionResult solve_benders(const AcrrInstance& inst,
 
   detail::MasterModel master = detail::build_master(inst, /*with_theta=*/true);
   SlaveProblem slave(inst);
+  // One extra SlaveProblem per probed tenant, created lazily and reused
+  // across iterations so each keeps its own warm-basis cache — the
+  // distinct-instance-per-thread contract of acrr/slave.hpp. Within one
+  // iteration each instance is touched by exactly one parallel_for task.
+  std::map<int, SlaveProblem> probe_slaves;
+  exec::ThreadPool& pool =
+      opts.pool != nullptr ? *opts.pool : exec::ThreadPool::global();
   const bool deficit = inst.config().allow_deficit;
+  const auto& vars = inst.vars();
+
+  // First-stage cost Σ (w·Λ − R/B) over the active variables of x̄.
+  const auto first_stage_cost = [&vars](const std::vector<char>& x_active) {
+    double cost = 0.0;
+    for (std::size_t j = 0; j < x_active.size(); ++j) {
+      if (x_active[j]) {
+        const VarInfo& v = vars[j];
+        cost += v.sla * v.w - v.reward_share;
+      }
+    }
+    return cost;
+  };
 
   double ub = kInf;
   double lb = -kInf;
@@ -248,6 +271,11 @@ AdmissionResult solve_benders(const AcrrInstance& inst,
 
   for (; iter < opts.max_iterations; ++iter) {
     MilpOptions mopts = opts.master;
+    // Serial master: a parallel branch-and-bound may return a different
+    // optimal x̄ under objective ties, forking the cut trajectory between
+    // runs. Parallelism lives in the probe-slave fan-out below instead,
+    // which is thread-count-invariant (see BendersOptions::probe_cuts).
+    mopts.threads = 1;
     mopts.time_limit_sec =
         std::min(mopts.time_limit_sec, opts.time_limit_sec - elapsed());
     if (mopts.time_limit_sec <= 0.0) break;
@@ -277,18 +305,58 @@ AdmissionResult solve_benders(const AcrrInstance& inst,
     lb = std::max(lb, mr.best_bound);
 
     const std::vector<char> active = detail::extract_active(master, mr.x);
-    const SlaveResult sr = slave.solve(active, deficit, opts.warm_start);
 
+    // ---- Probe set: admitted non-pinned tenants, ascending index, capped.
+    // Dropping one such tenant from x̄ keeps the master structurally
+    // feasible, so each probe slave yields a globally valid cut and (when
+    // feasible) a complete candidate admission for the incumbent. The set
+    // is a pure function of x̄: identical for every thread count.
+    std::vector<int> probe_tenants;
+    if (opts.probe_cuts > 0) {
+      std::vector<char> tenant_active(inst.tenants().size(), 0);
+      for (std::size_t j = 0; j < active.size(); ++j) {
+        if (active[j]) tenant_active[static_cast<size_t>(vars[j].tenant)] = 1;
+      }
+      for (std::size_t t = 0; t < inst.tenants().size(); ++t) {
+        if (tenant_active[t] == 0) continue;
+        if (inst.tenants()[t].pinned_cu.has_value()) continue;
+        probe_tenants.push_back(static_cast<int>(t));
+        if (static_cast<int>(probe_tenants.size()) >= opts.probe_cuts) break;
+      }
+    }
+    std::vector<std::vector<char>> probe_x(probe_tenants.size());
+    for (std::size_t p = 0; p < probe_tenants.size(); ++p) {
+      probe_x[p] = active;
+      for (std::size_t j = 0; j < probe_x[p].size(); ++j) {
+        if (vars[j].tenant == probe_tenants[p]) probe_x[p][j] = 0;
+      }
+    }
+    for (int t : probe_tenants) probe_slaves.try_emplace(t, inst);
+
+    // ---- Fan the slave solves out across the pool: slot 0 is the slave
+    // at x̄, slot p >= 1 the per-tenant probe on its own SlaveProblem.
+    std::vector<SlaveResult> srs(1 + probe_tenants.size());
+    pool.parallel_for(0, srs.size(), [&](std::size_t p) {
+      if (p == 0) {
+        srs[0] = slave.solve(active, deficit, opts.warm_start);
+      } else {
+        srs[p] = probe_slaves.at(probe_tenants[p - 1])
+                     .solve(probe_x[p - 1], deficit, opts.warm_start);
+      }
+    });
+
+    const SlaveResult& sr = srs[0];
+    // A vacuous cut (no coefficients, non-positive constant) cannot
+    // exclude anything: the slave failed without a certificate
+    // (IterationLimit), so re-solving the unchanged master would spin
+    // until the budget runs out. Stop with the current incumbent — but
+    // only after the probe results below are harvested: a feasible probe
+    // from this same fan-out may still improve the incumbent we return.
+    const bool vacuous_stop =
+        !sr.feasible && sr.cut.coefs.empty() && sr.cut.constant <= 0.0;
     if (sr.feasible) {
       // Γ = first-stage cost at x̄ + slave optimum (Algorithm 1, line 12).
-      double first_stage = 0.0;
-      for (std::size_t j = 0; j < active.size(); ++j) {
-        if (active[j]) {
-          const VarInfo& v = inst.vars()[j];
-          first_stage += v.sla * v.w - v.reward_share;
-        }
-      }
-      const double gamma = first_stage + sr.objective;
+      const double gamma = first_stage_cost(active) + sr.objective;
       if (gamma < ub) {
         ub = gamma;
         best_active = active;
@@ -302,12 +370,7 @@ AdmissionResult solve_benders(const AcrrInstance& inst,
       }
       master.lp.add_row("optcut" + std::to_string(iter), RowSense::LessEq,
                         -sr.cut.constant, std::move(coefs));
-    } else {
-      // A vacuous cut (no coefficients, non-positive constant) cannot
-      // exclude anything: the slave failed without a certificate
-      // (IterationLimit), so re-solving the unchanged master would spin
-      // until the budget runs out. Stop with the current incumbent.
-      if (sr.cut.coefs.empty() && sr.cut.constant <= 0.0) break;
+    } else if (!vacuous_stop) {
       // Feasibility cut (22): const + Σ coef·x <= 0.
       std::vector<Coef> coefs;
       for (const auto& [j, c] : sr.cut.coefs) {
@@ -317,6 +380,39 @@ AdmissionResult solve_benders(const AcrrInstance& inst,
                         -sr.cut.constant, std::move(coefs));
     }
 
+    // ---- Probe cuts, appended in tenant order (deterministic). A probe
+    // that failed without a certificate is skipped silently — only the x̄
+    // slave's vacuous cut stops the loop, above.
+    for (std::size_t p = 0; p < probe_tenants.size(); ++p) {
+      const SlaveResult& pr = srs[p + 1];
+      const std::string suffix =
+          std::to_string(iter) + "p" + std::to_string(p);
+      if (pr.feasible) {
+        const double gamma = first_stage_cost(probe_x[p]) + pr.objective;
+        if (gamma < ub) {
+          ub = gamma;
+          best_active = probe_x[p];
+          best_z = pr.z;
+          best_deficit = pr.deficit;
+        }
+        std::vector<Coef> coefs{{master.theta_col, -1.0}};
+        for (const auto& [j, c] : pr.cut.coefs) {
+          coefs.push_back({master.x_col[static_cast<size_t>(j)], c});
+        }
+        master.lp.add_row("optcut" + suffix, RowSense::LessEq,
+                          -pr.cut.constant, std::move(coefs));
+      } else {
+        if (pr.cut.coefs.empty() && pr.cut.constant <= 0.0) continue;
+        std::vector<Coef> coefs;
+        for (const auto& [j, c] : pr.cut.coefs) {
+          coefs.push_back({master.x_col[static_cast<size_t>(j)], c});
+        }
+        master.lp.add_row("feascut" + suffix, RowSense::LessEq,
+                          -pr.cut.constant, std::move(coefs));
+      }
+    }
+
+    if (vacuous_stop) break;
     if (ub < kInf && ub - lb <= opts.epsilon * (1.0 + std::abs(ub))) {
       ++iter;
       break;

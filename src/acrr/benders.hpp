@@ -16,6 +16,10 @@
 #include "acrr/slave.hpp"
 #include "solver/milp.hpp"
 
+namespace ovnes::exec {
+class ThreadPool;
+}  // namespace ovnes::exec
+
 namespace ovnes::acrr {
 
 struct BendersOptions {
@@ -27,6 +31,23 @@ struct BendersOptions {
   /// iteration's master (after the cut append) and cache the slave basis.
   /// Iteration counts and cuts are unchanged; only simplex pivots shrink.
   bool warm_start = true;
+  /// Per-iteration concurrent probe slaves: besides the slave at the
+  /// master's x̄, solve up to this many per-tenant "drop one admitted
+  /// tenant" slaves — each on its own SlaveProblem instance (the
+  /// thread-safety contract of acrr/slave.hpp) — fanned out across the
+  /// exec pool. A Benders cut derived at *any* activation vector is
+  /// globally valid, so the extra cuts tighten θ (and, when the probe
+  /// slave is feasible, its admission may improve the incumbent) without
+  /// touching correctness. The probe set depends only on x̄, never on
+  /// thread count, so the whole trajectory — iterations, cuts, objective —
+  /// is identical for every OVNES_THREADS value. 0 disables probing.
+  int probe_cuts = 4;
+  /// Pool for the probe fan-out (not owned); nullptr uses
+  /// exec::ThreadPool::global(). The *master* branch-and-bound always runs
+  /// serially inside solve_benders: under objective ties a parallel
+  /// search may return a different optimal x̄ and fork the cut
+  /// trajectory, which would break run-to-run determinism.
+  exec::ThreadPool* pool = nullptr;
 };
 
 /// Solve Problem 2 to (near-)optimality via Algorithm 1.

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <map>
+#include <mutex>
 #include <random>
 
 namespace ovnes {
@@ -60,9 +61,13 @@ double expected_max_gaussian(std::size_t n) {
 
 PeakStats gaussian_peak_stats(double mean, double stddev, std::size_t n) {
   if (n <= 1 || stddev <= 0.0) return {mean, n <= 1 ? stddev : 0.0};
-  // Standardized max moments, memoized per n (deterministic MC).
+  // Standardized max moments, memoized per n (deterministic MC). The memo
+  // is process-global and this runs on every admission path, so guard it:
+  // parallel scenario sweeps (exec/thread_pool.hpp) hit it concurrently.
   struct Moments { double m, s; };
+  static std::mutex* cache_mu = new std::mutex();
   static std::map<std::size_t, Moments>* cache = new std::map<std::size_t, Moments>();
+  std::lock_guard<std::mutex> lock(*cache_mu);
   auto it = cache->find(n);
   if (it == cache->end()) {
     std::mt19937_64 rng(0x5eedULL + n);

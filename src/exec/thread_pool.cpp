@@ -1,0 +1,133 @@
+#include "exec/thread_pool.hpp"
+
+#include <cstdlib>
+#include <string>
+
+namespace ovnes::exec {
+
+namespace {
+
+/// Worker identity of the current thread: set for the lifetime of a pool
+/// worker so post() can prefer the local deque.
+struct WorkerSlot {
+  const ThreadPool* pool = nullptr;
+  std::size_t index = 0;
+};
+thread_local WorkerSlot tls_worker;
+
+}  // namespace
+
+std::size_t hardware_threads() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<std::size_t>(hc);
+}
+
+std::size_t threads_from_env() {
+  const char* v = std::getenv("OVNES_THREADS");
+  if (v == nullptr || *v == '\0') return 0;
+  char* endp = nullptr;
+  const long n = std::strtol(v, &endp, 10);
+  if (endp == v || *endp != '\0' || n <= 0) return 0;
+  return n > 256 ? 256 : static_cast<std::size_t>(n);
+}
+
+std::size_t default_threads() {
+  const std::size_t env = threads_from_env();
+  return env != 0 ? env : hardware_threads();
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  lanes_ = threads == 0 ? default_threads() : threads;
+  if (lanes_ > 256) lanes_ = 256;
+  const std::size_t owned = lanes_ - 1;
+  deques_.reserve(owned);
+  for (std::size_t i = 0; i < owned; ++i) {
+    deques_.push_back(std::make_unique<Deque>());
+  }
+  workers_.reserve(owned);
+  for (std::size_t i = 0; i < owned; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(sleep_mu_);
+    stop_ = true;
+  }
+  sleep_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::post(std::function<void()> task) {
+  if (deques_.empty()) {  // size-1 pool: fully serial, run inline
+    task();
+    return;
+  }
+  std::size_t target;
+  if (tls_worker.pool == this) {
+    target = tls_worker.index;  // local push: LIFO pop gives locality
+  } else {
+    target = rr_.fetch_add(1, std::memory_order_relaxed) % deques_.size();
+  }
+  {
+    std::lock_guard<std::mutex> lk(deques_[target]->mu);
+    deques_[target]->tasks.push_back(std::move(task));
+  }
+  pending_.fetch_add(1, std::memory_order_release);
+  // Empty critical section: orders the pending_ increment against a worker
+  // that read pending_ == 0 under sleep_mu_ but has not entered wait yet,
+  // so the notify below cannot be lost.
+  { std::lock_guard<std::mutex> lk(sleep_mu_); }
+  sleep_cv_.notify_one();
+}
+
+bool ThreadPool::try_pop_local(std::size_t worker, std::function<void()>& out) {
+  Deque& d = *deques_[worker];
+  std::lock_guard<std::mutex> lk(d.mu);
+  if (d.tasks.empty()) return false;
+  out = std::move(d.tasks.back());  // newest first: depth-first locality
+  d.tasks.pop_back();
+  return true;
+}
+
+bool ThreadPool::try_steal(std::size_t thief, std::function<void()>& out) {
+  const std::size_t n = deques_.size();
+  for (std::size_t k = 1; k < n; ++k) {
+    Deque& d = *deques_[(thief + k) % n];
+    std::lock_guard<std::mutex> lk(d.mu);
+    if (d.tasks.empty()) continue;
+    out = std::move(d.tasks.front());  // oldest first: steal big subtrees
+    d.tasks.pop_front();
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t worker) {
+  tls_worker = {this, worker};
+  std::function<void()> task;
+  for (;;) {
+    if (try_pop_local(worker, task) || try_steal(worker, task)) {
+      pending_.fetch_sub(1, std::memory_order_acq_rel);
+      task();
+      task = nullptr;
+      continue;
+    }
+    std::unique_lock<std::mutex> lk(sleep_mu_);
+    sleep_cv_.wait(lk, [this] {
+      return stop_ || pending_.load(std::memory_order_acquire) > 0;
+    });
+    if (stop_ && pending_.load(std::memory_order_acquire) <= 0) {
+      tls_worker = {};
+      return;  // drained: remaining pops all failed
+    }
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(default_threads());
+  return pool;
+}
+
+}  // namespace ovnes::exec

@@ -1,0 +1,195 @@
+// Parallel execution runtime: a fixed-size work-stealing thread pool.
+//
+// This is the one concurrency primitive of the codebase; the solver
+// (parallel branch-and-bound), the Benders loop (concurrent slave probes)
+// and the scenario benches all compose it rather than spawning ad-hoc
+// threads. Shape follows the small self-contained pool libraries of
+// production ANN/solver codebases: per-worker deques, LIFO local pop for
+// cache locality, FIFO steals from victims for load balance.
+//
+// Sizing: `ThreadPool::global()` is created once with `default_threads()`
+// — the `OVNES_THREADS` environment variable when set (clamped to
+// [1, 256]), otherwise `std::thread::hardware_concurrency()`. A pool of
+// size 1 owns no threads at all: `post`/`submit` run inline and
+// `parallel_for` degenerates to a plain loop, so `OVNES_THREADS=1` is
+// fully serial and bit-deterministic.
+//
+// Thread-safety contract for users: the pool moves *tasks* between
+// threads, never data. Callers keep per-worker working state (a distinct
+// `LpModel` or `SlaveProblem` per lane — see solver/milp.cpp and
+// acrr/benders.cpp) and share only what they synchronize themselves.
+//
+// `parallel_for` is re-entrant: a task running on a pool worker may itself
+// call `parallel_for` on the same pool. The calling lane always drains its
+// own chunk counter, so nested loops make progress even when every worker
+// is busy — saturation degrades to serial execution, never to deadlock.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace ovnes::exec {
+
+/// std::thread::hardware_concurrency(), never 0.
+[[nodiscard]] std::size_t hardware_threads();
+
+/// Parse OVNES_THREADS; 0 when unset, empty, or not a positive integer.
+/// Values are clamped to [1, 256].
+[[nodiscard]] std::size_t threads_from_env();
+
+/// Pool width used by ThreadPool::global(): OVNES_THREADS when set,
+/// hardware_threads() otherwise.
+[[nodiscard]] std::size_t default_threads();
+
+/// Cooperative cancellation flag, cheap to copy (shared ownership).
+/// Producers call cancel(); parallel_for and long-running tasks poll
+/// cancelled() and wind down without running the remaining work.
+class CancelToken {
+ public:
+  CancelToken() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+  void cancel() const noexcept { flag_->store(true, std::memory_order_relaxed); }
+  [[nodiscard]] bool cancelled() const noexcept {
+    return flag_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+class ThreadPool {
+ public:
+  /// `threads` = total lanes including the calling thread; the pool owns
+  /// `threads - 1` workers. 0 picks default_threads().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total lanes (owned workers + the caller), >= 1.
+  [[nodiscard]] std::size_t size() const noexcept { return lanes_; }
+
+  /// Fire-and-forget. Runs inline when the pool has no workers. A task
+  /// posted from a pool worker lands on that worker's own deque (LIFO
+  /// locality); external posts round-robin across the deques.
+  void post(std::function<void()> task);
+
+  /// Schedule `fn` and get its result as a future. Exceptions thrown by
+  /// `fn` surface at future.get().
+  template <typename F>
+  [[nodiscard]] auto submit(F fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::move(fn));
+    std::future<R> fut = task->get_future();
+    post([task]() { (*task)(); });
+    return fut;
+  }
+
+  /// Run body(i) for every i in [begin, end), partitioned into chunks of
+  /// `grain` indices, executed by the caller plus up to size()-1 workers.
+  /// Blocks until every index ran (or was skipped). The first exception
+  /// thrown by any invocation is rethrown here once the loop has drained;
+  /// remaining chunks are skipped after an exception. When `cancel` trips,
+  /// unclaimed chunks are skipped and the call returns normally.
+  template <typename Body>
+  void parallel_for(std::size_t begin, std::size_t end, const Body& body,
+                    std::size_t grain = 1, const CancelToken* cancel = nullptr) {
+    if (end <= begin) return;
+    if (grain == 0) grain = 1;
+    const std::size_t n = end - begin;
+    if (lanes_ <= 1 || n <= grain) {
+      for (std::size_t i = begin; i < end; ++i) {
+        if (cancel != nullptr && cancel->cancelled()) return;
+        body(i);
+      }
+      return;
+    }
+    const std::size_t chunks = (n + grain - 1) / grain;
+    auto ctx = std::make_shared<ForContext>();
+    ctx->total = chunks;
+    const auto run_chunks = [ctx, begin, end, grain, cancel, &body]() {
+      for (;;) {
+        const std::size_t c = ctx->next.fetch_add(1, std::memory_order_relaxed);
+        if (c >= ctx->total) return;
+        if (!ctx->abort.load(std::memory_order_relaxed)) {
+          const std::size_t lo = begin + c * grain;
+          const std::size_t hi = std::min(end, lo + grain);
+          try {
+            for (std::size_t i = lo; i < hi; ++i) {
+              if (cancel != nullptr && cancel->cancelled()) break;
+              body(i);
+            }
+          } catch (...) {
+            std::lock_guard<std::mutex> lk(ctx->mu);
+            if (ctx->error == nullptr) ctx->error = std::current_exception();
+            ctx->abort.store(true, std::memory_order_relaxed);
+          }
+          if (cancel != nullptr && cancel->cancelled()) {
+            ctx->abort.store(true, std::memory_order_relaxed);
+          }
+        }
+        if (ctx->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+            ctx->total) {
+          std::lock_guard<std::mutex> lk(ctx->mu);
+          ctx->cv.notify_all();
+        }
+      }
+    };
+    // Helper tasks reference `body` via this closure; every *call* into
+    // body happens before parallel_for returns (the done-latch below), so
+    // the reference never outlives its use: a helper dequeued late finds
+    // next >= total and exits without touching it.
+    const std::size_t helpers = std::min(lanes_ - 1, chunks - 1);
+    for (std::size_t h = 0; h < helpers; ++h) post(run_chunks);
+    run_chunks();  // the calling lane always drains the counter itself
+    std::unique_lock<std::mutex> lk(ctx->mu);
+    ctx->cv.wait(lk, [&] {
+      return ctx->done.load(std::memory_order_acquire) == ctx->total;
+    });
+    if (ctx->error != nullptr) std::rethrow_exception(ctx->error);
+  }
+
+  /// Process-wide pool, sized by default_threads() at first use.
+  [[nodiscard]] static ThreadPool& global();
+
+ private:
+  struct ForContext {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::atomic<bool> abort{false};
+    std::size_t total = 0;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::exception_ptr error;
+  };
+  struct Deque {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void worker_loop(std::size_t worker);
+  [[nodiscard]] bool try_pop_local(std::size_t worker,
+                                   std::function<void()>& out);
+  [[nodiscard]] bool try_steal(std::size_t thief, std::function<void()>& out);
+
+  std::size_t lanes_ = 1;
+  std::vector<std::unique_ptr<Deque>> deques_;  ///< one per owned worker
+  std::vector<std::thread> workers_;
+  std::atomic<std::size_t> rr_{0};       ///< round-robin cursor for posts
+  std::atomic<long> pending_{0};         ///< queued (not yet popped) tasks
+  std::mutex sleep_mu_;
+  std::condition_variable sleep_cv_;
+  bool stop_ = false;                    ///< guarded by sleep_mu_
+};
+
+}  // namespace ovnes::exec

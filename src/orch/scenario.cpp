@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/stats.hpp"
+#include "exec/thread_pool.hpp"
 
 namespace ovnes::orch {
 
@@ -39,6 +40,13 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
   ocfg.learn_forecasts = false;  // converged-oracle mode (see header)
   ocfg.benders = cfg.benders;
   ocfg.milp = cfg.milp;
+  // Scenario results are documented as pure functions of the config: pin
+  // the no-overbooking MILP to one lane (solve_benders already keeps its
+  // master serial), since a parallel branch-and-bound may return a
+  // different tie-optimal admission *set* run to run. Parallelism comes
+  // from sweeping scenarios concurrently, not from inside one scenario.
+  ocfg.milp.threads = 1;
+  ocfg.benders.master.threads = 1;
   ocfg.seed = cfg.seed;
 
   Simulation sim(std::move(topology), cfg.k_paths, ocfg);
@@ -85,6 +93,15 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
   out.epochs = revenue.count();
   out.violation_prob = sim.ledger().violation_probability();
   out.max_drop_fraction = sim.ledger().max_drop_fraction();
+  return out;
+}
+
+std::vector<ScenarioResult> run_scenarios(const std::vector<ScenarioConfig>& cfgs,
+                                          exec::ThreadPool* pool) {
+  exec::ThreadPool& p = pool != nullptr ? *pool : exec::ThreadPool::global();
+  std::vector<ScenarioResult> out(cfgs.size());
+  p.parallel_for(0, cfgs.size(),
+                 [&](std::size_t i) { out[i] = run_scenario(cfgs[i]); });
   return out;
 }
 

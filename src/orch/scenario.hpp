@@ -15,6 +15,10 @@
 
 #include "orch/orchestrator.hpp"
 
+namespace ovnes::exec {
+class ThreadPool;
+}  // namespace ovnes::exec
+
 namespace ovnes::orch {
 
 struct TenantSpec {
@@ -63,5 +67,15 @@ struct ScenarioResult {
     double alpha, double sigma_ratio, double penalty_m);
 
 [[nodiscard]] ScenarioResult run_scenario(const ScenarioConfig& cfg);
+
+/// Evaluate a batch of independent scenarios concurrently on `pool` (the
+/// process-global OVNES_THREADS-wide pool when null); results come back in
+/// input order. Each scenario is fully self-contained — own topology,
+/// simulation, RNG streams — so every result is a pure function of its
+/// config: the output is identical for any thread count, only wall-clock
+/// changes. This is the scaling path of the fig4–fig8/table1 benches and
+/// the planning examples.
+[[nodiscard]] std::vector<ScenarioResult> run_scenarios(
+    const std::vector<ScenarioConfig>& cfgs, exec::ThreadPool* pool = nullptr);
 
 }  // namespace ovnes::orch

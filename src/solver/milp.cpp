@@ -1,11 +1,16 @@
 #include "solver/milp.hpp"
 
 #include <algorithm>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <cmath>
 #include <limits>
+#include <memory>
+#include <mutex>
 #include <tuple>
+
+#include "exec/thread_pool.hpp"
 
 namespace ovnes::solver {
 
@@ -32,11 +37,309 @@ struct Node {
   std::vector<std::tuple<int, double, double>> fixes;
   double parent_bound = -kInf;  ///< LP bound of the parent (for pruning)
   int depth = 0;
+  long seq = 0;  ///< creation order; tie-break so one lane mimics old DFS
   /// Parent's optimal LP basis: after branching only the branched variable
   /// is pushed out of bounds, so the child LP re-solves from here with a
   /// one-artificial repair instead of a full Phase 1.
   Basis warm;
 };
+
+/// Heap order for the best-first pool: lowest parent bound first; among
+/// equal bounds the deepest node, then the most recently created one (the
+/// "nearest side" child is pushed last, so it is explored first — the
+/// preference the old DFS realized by stack order).
+struct NodeWorse {
+  bool operator()(const Node& a, const Node& b) const {
+    if (a.parent_bound != b.parent_bound) return a.parent_bound > b.parent_bound;
+    if (a.depth != b.depth) return a.depth < b.depth;
+    return a.seq < b.seq;
+  }
+};
+
+double elapsed_sec(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// State shared by every branch-and-bound lane. Heap-allocated and owned
+/// via shared_ptr by each lane task: a task dequeued after the search
+/// finished still finds live (if closed) state, observes `done` and exits,
+/// so solve_milp never blocks on queued-but-unstarted pool tasks (which
+/// could deadlock a saturated pool whose workers are all inside MILP
+/// solves themselves).
+struct BnbShared {
+  const LpModel* base = nullptr;
+  MilpOptions opts;
+  std::vector<int> int_vars;
+  std::chrono::steady_clock::time_point t0;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  // All fields below are guarded by mu.
+  std::vector<Node> open;  ///< heap under NodeWorse
+  long next_seq = 0;
+  int in_flight = 0;       ///< popped nodes whose LP is being evaluated
+  bool done = false;
+  double incumbent = kInf;
+  std::vector<double> best_x;
+  long nodes = 0;
+  long lp_iterations = 0;
+  bool hit_limit = false;
+  bool unbounded = false;
+  bool root_solved = false;
+  double root_bound = -kInf;
+  Basis root_basis;
+  /// First exception thrown by any lane; rethrown from run(). A throwing
+  /// lane also sets `done` so every other lane winds down promptly.
+  std::exception_ptr error;
+  /// Min over parent bounds of nodes whose LP hit the iteration limit: the
+  /// subtree was abandoned unexplored, so its bound must stay in the
+  /// best_bound accounting or the reported gap would overstate certainty.
+  double dropped_bound = kInf;
+
+  [[nodiscard]] double absolute_gap() const {
+    return opts.gap_tol * std::max(1.0, std::abs(incumbent));
+  }
+  void push_open(Node n) {
+    n.seq = next_seq++;
+    open.push_back(std::move(n));
+    std::push_heap(open.begin(), open.end(), NodeWorse{});
+  }
+  [[nodiscard]] Node pop_open() {
+    std::pop_heap(open.begin(), open.end(), NodeWorse{});
+    Node n = std::move(open.back());
+    open.pop_back();
+    return n;
+  }
+};
+
+/// Most fractional variable within the best (lowest) priority class that
+/// has any fractional member; -1 when integral.
+int pick_branch_var(const LpModel& base, const std::vector<int>& int_vars,
+                    double int_tol, const std::vector<double>& x) {
+  int best = -1;
+  int best_prio = std::numeric_limits<int>::max();
+  double best_frac_dist = 0.0;
+  for (int j : int_vars) {
+    const double v = x[static_cast<size_t>(j)];
+    const double frac = v - std::floor(v);
+    const double dist = std::min(frac, 1.0 - frac);
+    if (dist <= int_tol) continue;
+    const int prio = base.variable(j).branch_priority;
+    if (prio < best_prio || (prio == best_prio && dist > best_frac_dist)) {
+      best_prio = prio;
+      best_frac_dist = dist;
+      best = j;
+    }
+  }
+  return best;
+}
+
+void round_integers(const std::vector<int>& int_vars, std::vector<double>& x) {
+  for (int j : int_vars) {
+    x[static_cast<size_t>(j)] = std::round(x[static_cast<size_t>(j)]);
+  }
+}
+
+/// OVNES_MILP_DEBUG diagnostics for an integral node whose solution still
+/// violates the model. `work` carries the node's bounds (not yet undone).
+void debug_integral_violation(const LpModel& work, const MilpOptions& opts,
+                              const LpResult& lp) {
+  std::fprintf(stderr, "MILP DEBUG: integral node violates by %g (obj %g)\n",
+               work.max_violation(lp.x), lp.objective);
+  SimplexOptions strict = opts.lp;
+  strict.refresh_interval = 1;
+  const LpResult lp2 = solve_lp(work, strict);
+  std::fprintf(stderr, "  strict resolve: status=%s obj=%g viol=%g\n",
+               to_string(lp2.status), lp2.objective,
+               lp2.status == LpStatus::Optimal ? work.max_violation(lp2.x) : -1.0);
+  // Dump the model for offline replay.
+  FILE* f = std::fopen("/tmp/fail_lp.txt", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "  (model dump skipped: /tmp/fail_lp.txt not writable)\n");
+    return;
+  }
+  std::fprintf(f, "%d %d\n", work.num_vars(), work.num_rows());
+  for (int j = 0; j < work.num_vars(); ++j) {
+    const auto& v = work.variable(j);
+    std::fprintf(f, "v %.17g %.17g %.17g\n", v.lower, v.upper, v.cost);
+  }
+  for (int i = 0; i < work.num_rows(); ++i) {
+    const auto& r = work.row(i);
+    std::fprintf(f, "r %d %.17g %zu", (int)r.sense, r.rhs, r.coefs.size());
+    for (const auto& c : r.coefs) std::fprintf(f, " %d %.17g", c.var, c.value);
+    std::fprintf(f, "\n");
+  }
+  std::fclose(f);
+}
+
+/// Evaluate one popped node (its in_flight slot is held by the caller):
+/// solve the LP on the lane's working model, then publish the outcome —
+/// incumbent / children / bound bookkeeping — under the shared lock.
+/// Returns false when the search is done and the lane should exit. Note
+/// `sh.base` is only dereferenced here, i.e. while a node is held: after
+/// `done` no node is ever acquired, so a lane task that starts late never
+/// touches a caller model that may already be gone.
+bool evaluate_node(BnbShared& sh, Node& node, LpModel& work, bool& have_work) {
+  const LpModel& base = *sh.base;
+  const MilpOptions& opts = sh.opts;
+
+  // ---- LP evaluation, outside the lock.
+  LpResult lp;
+  if (opts.copy_node_models) {
+    LpModel copy = base;
+    for (const auto& [var, lo, hi] : node.fixes) copy.set_bounds(var, lo, hi);
+    lp = solve_lp(copy, opts.lp, node.warm.empty() ? nullptr : &node.warm);
+  } else {
+    if (!have_work) {
+      work = base;
+      have_work = true;
+    }
+    for (const auto& [var, lo, hi] : node.fixes) work.set_bounds(var, lo, hi);
+    lp = solve_lp(work, opts.lp, node.warm.empty() ? nullptr : &node.warm);
+  }
+
+  int frac = -1;
+  if (lp.status == LpStatus::Optimal) {
+    frac = pick_branch_var(base, sh.int_vars, opts.int_tol, lp.x);
+    if (frac < 0 && !opts.copy_node_models &&
+        std::getenv("OVNES_MILP_DEBUG") != nullptr &&
+        work.max_violation(lp.x) > 1e-5) {
+      debug_integral_violation(work, opts, lp);
+    }
+  }
+  if (!opts.copy_node_models) {
+    // Undo the node's bound deltas: every touched variable goes back to
+    // its root-model box (a variable fixed twice on the path restores
+    // the same base bounds twice — harmless).
+    for (const auto& [var, lo, hi] : node.fixes) {
+      (void)lo;
+      (void)hi;
+      work.set_bounds(var, base.variable(var).lower, base.variable(var).upper);
+    }
+  }
+
+  // ---- Publish the outcome.
+  std::unique_lock<std::mutex> lk(sh.mu);
+  sh.lp_iterations += lp.iterations;
+  if (!sh.root_solved && lp.status == LpStatus::Optimal) {
+    sh.root_bound = lp.objective;
+    sh.root_solved = true;
+    sh.root_basis = lp.basis;
+  }
+  switch (lp.status) {
+    case LpStatus::Infeasible:
+      break;  // dead branch
+    case LpStatus::Unbounded:
+      // Unbounded relaxation: treat conservatively, abandon the search.
+      sh.unbounded = true;
+      sh.done = true;
+      break;
+    case LpStatus::IterationLimit:
+      // The LP is unsolved — its x/duals are garbage and must not seed
+      // an incumbent or a branching decision. Drop the node but keep its
+      // parent bound so the result can never claim Optimal or a tighter
+      // bound than was actually proved.
+      sh.hit_limit = true;
+      sh.dropped_bound = std::min(sh.dropped_bound, node.parent_bound);
+      break;
+    case LpStatus::Optimal: {
+      if (lp.objective >= sh.incumbent - sh.absolute_gap()) break;
+      if (frac < 0) {
+        // Integer feasible.
+        if (lp.objective < sh.incumbent) {
+          sh.incumbent = lp.objective;
+          sh.best_x = lp.x;
+          round_integers(sh.int_vars, sh.best_x);
+        }
+        break;
+      }
+      // Branch. The preferred ("nearest") side is pushed last so the
+      // heap tie-break explores it first.
+      const double v = lp.x[static_cast<size_t>(frac)];
+      node.warm = Basis{};  // superseded by lp.basis; don't copy it twice
+      Node down = node, up = node;
+      down.fixes.emplace_back(frac, base.variable(frac).lower, std::floor(v));
+      up.fixes.emplace_back(frac, std::ceil(v), base.variable(frac).upper);
+      down.parent_bound = up.parent_bound = lp.objective;
+      down.depth = up.depth = node.depth + 1;
+      down.warm = lp.basis;
+      up.warm = lp.basis;
+      if (v - std::floor(v) <= 0.5) {
+        sh.push_open(std::move(up));
+        sh.push_open(std::move(down));
+      } else {
+        sh.push_open(std::move(down));
+        sh.push_open(std::move(up));
+      }
+      break;
+    }
+  }
+  --sh.in_flight;
+  sh.cv.notify_all();
+  return !sh.done;
+}
+
+/// One branch-and-bound lane: pop best-first nodes, evaluate their LP on a
+/// lane-private working model, update the shared incumbent/bounds and push
+/// children. Runs on the calling thread and, in parallel mode, as a pool
+/// task per extra lane.
+void bnb_lane(const std::shared_ptr<BnbShared>& sh) {
+  const MilpOptions& opts = sh->opts;
+  // Lane-private working model, copied once; node bounds are applied as
+  // deltas before the LP solve and undone after, killing the old
+  // O(model)-copy-per-node cost.
+  LpModel work;
+  bool have_work = false;
+
+  for (;;) {
+    Node node;
+    {
+      std::unique_lock<std::mutex> lk(sh->mu);
+      for (;;) {
+        if (sh->done) return;
+        if (sh->nodes >= opts.max_nodes ||
+            elapsed_sec(sh->t0) > opts.time_limit_sec) {
+          sh->hit_limit = true;
+          sh->done = true;
+          sh->cv.notify_all();
+          return;
+        }
+        if (!sh->open.empty()) break;
+        if (sh->in_flight == 0) {  // nothing left and nobody producing
+          sh->done = true;
+          sh->cv.notify_all();
+          return;
+        }
+        sh->cv.wait(lk);
+      }
+      node = sh->pop_open();
+      ++sh->nodes;
+      if (node.parent_bound >= sh->incumbent - sh->absolute_gap()) {
+        continue;  // cannot improve (covered by the incumbent in best_bound)
+      }
+      ++sh->in_flight;
+    }
+    // Exception barrier: anything thrown while this lane holds a node
+    // (set_bounds on malformed bounds, bad_alloc on the model copy, ...)
+    // is recorded for run() to rethrow, `done` stops the other lanes, and
+    // the held in_flight is released so nobody waits forever. Without the
+    // barrier a throw on a pool task would reach the worker loop and
+    // std::terminate.
+    bool keep_going;
+    try {
+      keep_going = evaluate_node(*sh, node, work, have_work);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(sh->mu);
+      if (sh->error == nullptr) sh->error = std::current_exception();
+      sh->done = true;
+      --sh->in_flight;
+      sh->cv.notify_all();
+      return;
+    }
+    if (!keep_going) return;
+  }
+}
 
 class BranchAndBound {
  public:
@@ -46,138 +349,67 @@ class BranchAndBound {
   MilpResult run() {
     MilpResult res;
     const auto t0 = std::chrono::steady_clock::now();
-    double incumbent = kInf;
-    std::vector<double> best_x;
-    if (opts_.dive_heuristic) dive(incumbent, best_x, res);
-    std::vector<Node> stack;
+    auto sh = std::make_shared<BnbShared>();
+    sh->base = &base_;
+    sh->opts = opts_;
+    sh->int_vars = int_vars_;
+    sh->t0 = t0;
+
+    bool dive_hit_limit = false;
+    if (opts_.dive_heuristic) dive(*sh, dive_hit_limit);
+
     Node root;
     if (opts_.warm_start != nullptr) root.warm = *opts_.warm_start;
-    stack.push_back(std::move(root));
-    // Track the minimum over open nodes' parent bounds for best_bound.
-    double root_bound = -kInf;
-    bool root_solved = false;
-    bool hit_limit = false;
-    // Min over parent bounds of nodes whose LP hit the iteration limit: the
-    // subtree was abandoned unexplored, so its bound must stay in the
-    // best_bound accounting or the reported gap would overstate certainty.
-    double dropped_bound = kInf;
-
-    while (!stack.empty()) {
-      if (res.nodes >= opts_.max_nodes || elapsed_sec(t0) > opts_.time_limit_sec) {
-        hit_limit = true;
-        break;
-      }
-      Node node = std::move(stack.back());
-      stack.pop_back();
-      ++res.nodes;
-
-      if (node.parent_bound >= incumbent - absolute_gap(incumbent)) {
-        continue;  // cannot improve
-      }
-
-      // Apply node bounds onto a working copy of the model.
-      LpModel work = base_;
-      for (const auto& [var, lo, hi] : node.fixes) work.set_bounds(var, lo, hi);
-
-      const LpResult lp =
-          solve_lp(work, opts_.lp, node.warm.empty() ? nullptr : &node.warm);
-      res.lp_iterations += lp.iterations;
-      if (lp.status == LpStatus::Infeasible) continue;
-      if (lp.status != LpStatus::Optimal) {
-        // Unbounded relaxation or iteration trouble: treat conservatively.
-        if (lp.status == LpStatus::Unbounded) {
-          res.status = MilpStatus::NoSolution;
-          res.best_bound = -kInf;
-          return res;
-        }
-        // IterationLimit: the LP is unsolved — its x/duals are garbage and
-        // must not seed an incumbent or a branching decision. Drop the node
-        // but keep its parent bound so the result can never claim Optimal
-        // or a tighter bound than was actually proved.
-        hit_limit = true;
-        dropped_bound = std::min(dropped_bound, node.parent_bound);
-        continue;
-      }
-      if (!root_solved) {
-        root_bound = lp.objective;
-        root_solved = true;
-        res.root_basis = lp.basis;
-      }
-      if (lp.objective >= incumbent - absolute_gap(incumbent)) continue;
-
-      const int frac = pick_branch_var(lp.x);
-      if (frac < 0) {
-        // Integer feasible.
-        if (std::getenv("OVNES_MILP_DEBUG") && work.max_violation(lp.x) > 1e-5) {
-          std::fprintf(stderr, "MILP DEBUG: integral node violates by %g (obj %g)\n",
-                       work.max_violation(lp.x), lp.objective);
-          SimplexOptions strict = opts_.lp;
-          strict.refresh_interval = 1;
-          const LpResult lp2 = solve_lp(work, strict);
-          std::fprintf(stderr, "  strict resolve: status=%s obj=%g viol=%g\n",
-                       to_string(lp2.status), lp2.objective,
-                       lp2.status == LpStatus::Optimal ? work.max_violation(lp2.x) : -1.0);
-          // Dump the model for offline replay.
-          FILE* f = std::fopen("/tmp/fail_lp.txt", "w");
-          std::fprintf(f, "%d %d\n", work.num_vars(), work.num_rows());
-          for (int j = 0; j < work.num_vars(); ++j) {
-            const auto& v = work.variable(j);
-            std::fprintf(f, "v %.17g %.17g %.17g\n", v.lower, v.upper, v.cost);
-          }
-          for (int i = 0; i < work.num_rows(); ++i) {
-            const auto& r = work.row(i);
-            std::fprintf(f, "r %d %.17g %zu", (int)r.sense, r.rhs, r.coefs.size());
-            for (const auto& c : r.coefs) std::fprintf(f, " %d %.17g", c.var, c.value);
-            std::fprintf(f, "\n");
-          }
-          std::fclose(f);
-        }
-        if (lp.objective < incumbent) {
-          incumbent = lp.objective;
-          best_x = lp.x;
-          round_integers(best_x);
-        }
-        continue;
-      }
-
-      // Branch. Explore the "nearest" side first: DFS pops from the back,
-      // so push the preferred child last.
-      const double v = lp.x[static_cast<size_t>(frac)];
-      node.warm = Basis{};  // superseded by lp.basis; don't copy it twice below
-      Node down = node, up = node;
-      down.fixes.emplace_back(frac, base_.variable(frac).lower, std::floor(v));
-      up.fixes.emplace_back(frac, std::ceil(v), base_.variable(frac).upper);
-      down.parent_bound = up.parent_bound = lp.objective;
-      down.depth = up.depth = node.depth + 1;
-      down.warm = lp.basis;
-      up.warm = lp.basis;
-      if (v - std::floor(v) <= 0.5) {
-        stack.push_back(std::move(up));
-        stack.push_back(std::move(down));
-      } else {
-        stack.push_back(std::move(down));
-        stack.push_back(std::move(up));
-      }
+    {
+      std::lock_guard<std::mutex> lk(sh->mu);
+      sh->push_open(std::move(root));
     }
 
-    // Compose result.
-    if (best_x.empty()) {
-      res.status = hit_limit ? MilpStatus::NoSolution : MilpStatus::Infeasible;
-      res.best_bound = root_solved ? root_bound : -kInf;
+    exec::ThreadPool& pool =
+        opts_.pool != nullptr ? *opts_.pool : exec::ThreadPool::global();
+    std::size_t lanes = opts_.threads > 0
+                            ? static_cast<std::size_t>(opts_.threads)
+                            : pool.size();
+    if (opts_.copy_node_models) lanes = 1;
+    for (std::size_t l = 1; l < lanes; ++l) {
+      pool.post([sh] { bnb_lane(sh); });
+    }
+    bnb_lane(sh);
+
+    // The calling lane is done; wait for in-flight nodes on other lanes
+    // (running, hence finite) before reading results. Queued-but-unstarted
+    // lane tasks need no wait: they observe `done` and exit.
+    std::unique_lock<std::mutex> lk(sh->mu);
+    sh->cv.wait(lk, [&] { return sh->in_flight == 0; });
+    if (sh->error != nullptr) std::rethrow_exception(sh->error);
+
+    // ---- Compose result.
+    res.nodes = sh->nodes;
+    res.lp_iterations = static_cast<int>(sh->lp_iterations);
+    res.root_basis = sh->root_basis;
+    const bool hit_limit = sh->hit_limit || dive_hit_limit;
+    if (sh->unbounded) {
+      res.status = MilpStatus::NoSolution;
+      res.best_bound = -kInf;
       return res;
     }
-    res.objective = incumbent;
-    res.x = std::move(best_x);
-    if (hit_limit || !stack.empty()) {
+    if (sh->best_x.empty()) {
+      res.status = hit_limit ? MilpStatus::NoSolution : MilpStatus::Infeasible;
+      res.best_bound = sh->root_solved ? sh->root_bound : -kInf;
+      return res;
+    }
+    res.objective = sh->incumbent;
+    res.x = std::move(sh->best_x);
+    if (hit_limit || !sh->open.empty()) {
       res.status = MilpStatus::Feasible;
       // Bound: min over open nodes, dropped (limit-hit) nodes, and root.
-      double bound = std::min(incumbent, dropped_bound);
-      for (const Node& n : stack) bound = std::min(bound, n.parent_bound);
-      if (!root_solved) bound = -kInf;
-      res.best_bound = std::min(bound, incumbent);
+      double bound = std::min(sh->incumbent, sh->dropped_bound);
+      for (const Node& n : sh->open) bound = std::min(bound, n.parent_bound);
+      if (!sh->root_solved) bound = -kInf;
+      res.best_bound = std::min(bound, sh->incumbent);
     } else {
       res.status = MilpStatus::Optimal;
-      res.best_bound = incumbent;
+      res.best_bound = sh->incumbent;
     }
     return res;
   }
@@ -185,67 +417,40 @@ class BranchAndBound {
  private:
   /// LP-guided rounding dive: repeatedly pin the most fractional integer
   /// variable to its nearest integer and re-solve. Either reaches an
-  /// integral feasible point (the initial incumbent) or dead-ends.
-  void dive(double& incumbent, std::vector<double>& best_x, MilpResult& res) {
+  /// integral feasible point (the initial incumbent) or dead-ends. Runs
+  /// serially before the lanes start; every dive LP counts as a node and
+  /// the node/time limits abort it like any other part of the search.
+  void dive(BnbShared& sh, bool& dive_hit_limit) const {
     LpModel work = base_;
     Basis warm;
     if (opts_.warm_start != nullptr) warm = *opts_.warm_start;
     for (std::size_t step = 0; step <= int_vars_.size(); ++step) {
+      if (sh.nodes >= opts_.max_nodes ||
+          elapsed_sec(sh.t0) > opts_.time_limit_sec) {
+        dive_hit_limit = true;
+        return;
+      }
+      ++sh.nodes;
       const LpResult lp = solve_lp(work, opts_.lp, warm.empty() ? nullptr : &warm);
-      res.lp_iterations += lp.iterations;
+      sh.lp_iterations += lp.iterations;
       if (lp.status != LpStatus::Optimal) return;  // dead end
-      const int frac = pick_branch_var(lp.x);
+      const int frac = pick_branch_var(base_, int_vars_, opts_.int_tol, lp.x);
       if (frac < 0) {
-        if (std::getenv("OVNES_MILP_DEBUG") && work.max_violation(lp.x) > 1e-5) {
+        if (std::getenv("OVNES_MILP_DEBUG") != nullptr &&
+            work.max_violation(lp.x) > 1e-5) {
           std::fprintf(stderr, "MILP DEBUG dive: violates by %g (obj %g)\n",
                        work.max_violation(lp.x), lp.objective);
         }
-        if (lp.objective < incumbent) {
-          incumbent = lp.objective;
-          best_x = lp.x;
-          round_integers(best_x);
+        if (lp.objective < sh.incumbent) {
+          sh.incumbent = lp.objective;
+          sh.best_x = lp.x;
+          round_integers(int_vars_, sh.best_x);
         }
         return;
       }
       const double v = std::round(lp.x[static_cast<size_t>(frac)]);
       work.set_bounds(frac, v, v);
       warm = lp.basis;
-    }
-  }
-
-  [[nodiscard]] double absolute_gap(double incumbent) const {
-    return opts_.gap_tol * std::max(1.0, std::abs(incumbent));
-  }
-
-  static double elapsed_sec(std::chrono::steady_clock::time_point t0) {
-    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-        .count();
-  }
-
-  /// Most fractional variable within the best (lowest) priority class that
-  /// has any fractional member; -1 when integral.
-  [[nodiscard]] int pick_branch_var(const std::vector<double>& x) const {
-    int best = -1;
-    int best_prio = std::numeric_limits<int>::max();
-    double best_frac_dist = 0.0;
-    for (int j : int_vars_) {
-      const double v = x[static_cast<size_t>(j)];
-      const double frac = v - std::floor(v);
-      const double dist = std::min(frac, 1.0 - frac);
-      if (dist <= opts_.int_tol) continue;
-      const int prio = base_.variable(j).branch_priority;
-      if (prio < best_prio || (prio == best_prio && dist > best_frac_dist)) {
-        best_prio = prio;
-        best_frac_dist = dist;
-        best = j;
-      }
-    }
-    return best;
-  }
-
-  void round_integers(std::vector<double>& x) const {
-    for (int j : int_vars_) {
-      x[static_cast<size_t>(j)] = std::round(x[static_cast<size_t>(j)]);
     }
   }
 

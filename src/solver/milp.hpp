@@ -5,13 +5,21 @@
 // full AC-RR MILP (Problem 2) in tests.
 //
 // Design notes:
-//  * depth-first search with best-bound incumbent pruning;
+//  * best-first search over a shared node pool with best-bound incumbent
+//    pruning; ties broken (deeper, then most recently created) so a single
+//    lane explores the preferred branch first, like the old DFS;
+//  * parallel node evaluation: `threads` lanes pop nodes from the shared
+//    pool, each with its own working LpModel (bound apply/undo deltas, no
+//    per-node model copy) — solve_lp is thread-compatible on distinct
+//    models (solver/simplex.hpp). Serial and parallel runs report the same
+//    objective and a valid (conservative) best_bound/gap;
 //  * branching variable chosen by (branch_priority, fractionality): the
 //    AC-RR master marks per-tenant acceptance indicators with priority 0 and
 //    raw path variables with priority 10, which realizes the "tenant
 //    acceptance dichotomy" branching described in DESIGN.md §4;
 //  * node and wall-clock limits make the solver an anytime algorithm —
-//    the incumbent plus `best_bound` give a certified optimality gap.
+//    the incumbent plus `best_bound` give a certified optimality gap. The
+//    root dive heuristic honors the same limits and counts toward `nodes`.
 #pragma once
 
 #include <chrono>
@@ -19,6 +27,10 @@
 
 #include "solver/lp_model.hpp"
 #include "solver/simplex.hpp"
+
+namespace ovnes::exec {
+class ThreadPool;
+}  // namespace ovnes::exec
 
 namespace ovnes::solver {
 
@@ -58,6 +70,22 @@ struct MilpOptions {
   /// Optional warm basis for the root LP relaxation (not owned; must
   /// outlive the solve). Child nodes always inherit their parent's basis.
   const Basis* warm_start = nullptr;
+  /// Branch-and-bound lanes: 0 picks exec::default_threads() (the
+  /// OVNES_THREADS environment default), 1 is fully serial/deterministic,
+  /// n > 1 evaluates up to n nodes concurrently. The parallel search
+  /// returns the same objective as the serial one (any integer solution
+  /// better than the final incumbent by more than gap_tol cannot be
+  /// pruned in either order); under ties the solution *vector* may be a
+  /// different optimal vertex.
+  int threads = 0;
+  /// Pool supplying the extra lanes (not owned); nullptr uses
+  /// exec::ThreadPool::global(). Tests inject a local pool here.
+  exec::ThreadPool* pool = nullptr;
+  /// Copy the whole model per node instead of applying/undoing bound
+  /// deltas on a per-lane working model. The pre-delta behaviour, kept so
+  /// bench_solver_micro can report the node-throughput delta and as a
+  /// debugging fallback; forces threads = 1 semantics per copy.
+  bool copy_node_models = false;
   SimplexOptions lp;
 };
 

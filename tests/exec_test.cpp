@@ -1,0 +1,196 @@
+// Tests for the exec/ parallel runtime (src/exec/thread_pool.hpp):
+// parallel_for correctness across pool widths and grains, task futures,
+// exception propagation, cooperative cancellation, work stealing, nesting
+// (re-entrancy), and OVNES_THREADS parsing.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "exec/thread_pool.hpp"
+
+namespace {
+
+using namespace ovnes::exec;
+
+TEST(ThreadPool, ParallelForRunsEveryIndexExactlyOnce) {
+  for (const std::size_t width : {1u, 2u, 4u, 8u}) {
+    ThreadPool pool(width);
+    EXPECT_EQ(pool.size(), width);
+    for (const std::size_t n : {0u, 1u, 5u, 1000u}) {
+      for (const std::size_t grain : {1u, 7u, 64u}) {
+        std::vector<std::atomic<int>> hits(n);
+        pool.parallel_for(0, n, [&](std::size_t i) {
+          hits[i].fetch_add(1, std::memory_order_relaxed);
+        }, grain);
+        for (std::size_t i = 0; i < n; ++i) {
+          ASSERT_EQ(hits[i].load(), 1)
+              << "width=" << width << " n=" << n << " grain=" << grain
+              << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(ThreadPool, ParallelForHonorsRangeOffset) {
+  ThreadPool pool(4);
+  std::atomic<long> sum{0};
+  pool.parallel_for(100, 200, [&](std::size_t i) {
+    sum.fetch_add(static_cast<long>(i), std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), (100 + 199) * 100 / 2);
+}
+
+TEST(ThreadPool, SubmitReturnsFutureResults) {
+  ThreadPool pool(4);
+  std::vector<std::future<int>> futs;
+  for (int k = 0; k < 32; ++k) {
+    futs.push_back(pool.submit([k] { return k * k; }));
+  }
+  for (int k = 0; k < 32; ++k) EXPECT_EQ(futs[static_cast<size_t>(k)].get(), k * k);
+}
+
+TEST(ThreadPool, SerialPoolRunsInline) {
+  // A size-1 pool owns no threads: tasks run on the calling thread at
+  // post() time, which is what makes OVNES_THREADS=1 fully deterministic.
+  ThreadPool pool(1);
+  const auto caller = std::this_thread::get_id();
+  std::thread::id ran_on;
+  auto fut = pool.submit([&] { ran_on = std::this_thread::get_id(); return 1; });
+  EXPECT_EQ(fut.get(), 1);
+  EXPECT_EQ(ran_on, caller);
+}
+
+TEST(ThreadPool, ParallelForPropagatesFirstException) {
+  for (const std::size_t width : {1u, 4u}) {
+    ThreadPool pool(width);
+    std::atomic<int> ran{0};
+    EXPECT_THROW(
+        pool.parallel_for(0, 500, [&](std::size_t i) {
+          if (i == 37) throw std::runtime_error("boom");
+          ran.fetch_add(1, std::memory_order_relaxed);
+        }),
+        std::runtime_error);
+    // Chunks claimed after the exception are skipped.
+    EXPECT_LT(ran.load(), 500);
+  }
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptionThroughFuture) {
+  ThreadPool pool(2);
+  auto fut = pool.submit([]() -> int { throw std::logic_error("bad"); });
+  EXPECT_THROW(fut.get(), std::logic_error);
+}
+
+TEST(ThreadPool, CancellationIsExactOnSerialPool) {
+  ThreadPool pool(1);
+  CancelToken tok;
+  int ran = 0;
+  pool.parallel_for(0, 10000, [&](std::size_t i) {
+    ++ran;
+    if (i == 10) tok.cancel();
+  }, /*grain=*/1, &tok);
+  // The token is polled before every index: 0..10 run, nothing after.
+  EXPECT_EQ(ran, 11);
+}
+
+TEST(ThreadPool, CancellationStopsParallelLoopEarly) {
+  ThreadPool pool(4);
+  CancelToken tok;
+  std::atomic<int> ran{0};
+  pool.parallel_for(0, 1000000, [&](std::size_t i) {
+    ran.fetch_add(1, std::memory_order_relaxed);
+    if (i == 5) tok.cancel();
+  }, /*grain=*/8, &tok);
+  EXPECT_LT(ran.load(), 1000000);
+  EXPECT_TRUE(tok.cancelled());
+}
+
+TEST(ThreadPool, NestedParallelForCompletes) {
+  // parallel_for is re-entrant: tasks running on pool workers issue their
+  // own parallel_for on the same pool. The calling lane always drains its
+  // own chunk counter, so saturation degrades to serial, never deadlock.
+  ThreadPool pool(4);
+  std::atomic<long> sum{0};
+  pool.parallel_for(0, 8, [&](std::size_t) {
+    pool.parallel_for(0, 100, [&](std::size_t) {
+      sum.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(sum.load(), 800);
+}
+
+TEST(ThreadPool, WorkersStealLocallyPostedTasks) {
+  // A pool task posts follow-up work onto its own deque and then blocks;
+  // the other workers must steal and finish it.
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  std::atomic<bool> release{false};
+  auto producer = pool.submit([&] {
+    for (int k = 0; k < 50; ++k) {
+      pool.post([&] { done.fetch_add(1, std::memory_order_relaxed); });
+    }
+    while (!release.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (done.load() < 50 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  release.store(true);
+  producer.get();
+  EXPECT_EQ(done.load(), 50);
+}
+
+TEST(ThreadPool, EnvParsing) {
+  const char* old = std::getenv("OVNES_THREADS");
+  const std::string saved = old != nullptr ? old : "";
+
+  ::setenv("OVNES_THREADS", "7", 1);
+  EXPECT_EQ(threads_from_env(), 7u);
+  ::setenv("OVNES_THREADS", "1", 1);
+  EXPECT_EQ(threads_from_env(), 1u);
+  ::setenv("OVNES_THREADS", "99999", 1);
+  EXPECT_EQ(threads_from_env(), 256u);  // clamped
+  ::setenv("OVNES_THREADS", "0", 1);
+  EXPECT_EQ(threads_from_env(), 0u);  // invalid -> fall back to hardware
+  ::setenv("OVNES_THREADS", "-3", 1);
+  EXPECT_EQ(threads_from_env(), 0u);
+  ::setenv("OVNES_THREADS", "abc", 1);
+  EXPECT_EQ(threads_from_env(), 0u);
+  ::setenv("OVNES_THREADS", "", 1);
+  EXPECT_EQ(threads_from_env(), 0u);
+  ::unsetenv("OVNES_THREADS");
+  EXPECT_EQ(threads_from_env(), 0u);
+
+  EXPECT_GE(hardware_threads(), 1u);
+  EXPECT_GE(default_threads(), 1u);
+  ::setenv("OVNES_THREADS", "3", 1);
+  EXPECT_EQ(default_threads(), 3u);
+
+  if (old != nullptr) {
+    ::setenv("OVNES_THREADS", saved.c_str(), 1);
+  } else {
+    ::unsetenv("OVNES_THREADS");
+  }
+}
+
+TEST(ThreadPool, DestructorJoinsCleanly) {
+  // Construct/destroy repeatedly with queued work in flight.
+  for (int rep = 0; rep < 10; ++rep) {
+    ThreadPool pool(4);
+    std::atomic<int> n{0};
+    pool.parallel_for(0, 64, [&](std::size_t) {
+      n.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(n.load(), 64);
+  }
+}
+
+}  // namespace
