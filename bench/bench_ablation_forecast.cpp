@@ -6,9 +6,14 @@
 // Holt-Winters / oracle, plus the downstream effect: the reservation
 // headroom an orchestrator would need at equal violation risk is
 // proportional to forecast RMSE.
+//
+// Each jitter level is an independent experiment with its own demand
+// process and RNG stream, so the three batch through bench::TaskSweep —
+// evaluated concurrently, rows emitted in jitter order.
 #include <cmath>
 #include <cstdio>
 #include <memory>
+#include <string>
 
 #include "bench_util.hpp"
 #include "common/rng.hpp"
@@ -16,52 +21,66 @@
 #include "forecast/smoothing.hpp"
 #include "traffic/demand.hpp"
 
-int main() {
+namespace {
+
+std::string forecast_point(double jitter) {
   using namespace ovnes;
   const std::size_t epochs_per_day = 24;
   const std::size_t days = bench::fast_mode() ? 6 : 20;
   const std::size_t kappa = 12;
 
+  traffic::DiurnalDemand demand(/*peak_mean=*/40.0, /*depth=*/0.6,
+                                epochs_per_day * kappa, jitter);
+  RngStream rng(5);
+
+  std::vector<forecast::ForecasterPtr> forecasters;
+  forecasters.push_back(std::make_unique<forecast::SesForecaster>());
+  forecasters.push_back(std::make_unique<forecast::HoltForecaster>());
+  forecasters.push_back(
+      std::make_unique<forecast::HoltWintersForecaster>(epochs_per_day));
+
+  std::vector<RunningStats> sq_err(forecasters.size());
+  RunningStats peaks;
+  std::size_t sample_idx = 0;
+  for (std::size_t e = 0; e < days * epochs_per_day; ++e) {
+    double peak = 0.0;
+    for (std::size_t s = 0; s < kappa; ++s) {
+      peak = std::max(peak, demand.sample(sample_idx++, rng));
+    }
+    if (e >= 2 * epochs_per_day) {  // score after HW warm-up
+      for (std::size_t f = 0; f < forecasters.size(); ++f) {
+        const double err = forecasters[f]->forecast(1).value - peak;
+        sq_err[f].add(err * err);
+      }
+      peaks.add(peak);
+    }
+    for (auto& f : forecasters) f->observe(peak);
+  }
+
+  std::string out;
+  for (std::size_t f = 0; f < forecasters.size(); ++f) {
+    Row row("ablation_forecast");
+    row.set("jitter", jitter)
+        .set("forecaster", forecasters[f]->name())
+        .set("rmse", std::sqrt(sq_err[f].mean()))
+        .set("nrmse_pct", 100.0 * std::sqrt(sq_err[f].mean()) / peaks.mean())
+        .set("sigma_hat", forecasters[f]->forecast(1).uncertainty);
+    out += row.str() + "\n";
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace ovnes;
+
   std::printf("# Ablation A1: forecaster accuracy on diurnal slice load "
               "(peak per epoch)\n");
+  bench::TaskSweep sweep;
   for (double jitter : {0.0, 2.0, 5.0}) {
-    traffic::DiurnalDemand demand(/*peak_mean=*/40.0, /*depth=*/0.6,
-                                  epochs_per_day * kappa, jitter);
-    RngStream rng(5);
-
-    std::vector<forecast::ForecasterPtr> forecasters;
-    forecasters.push_back(std::make_unique<forecast::SesForecaster>());
-    forecasters.push_back(std::make_unique<forecast::HoltForecaster>());
-    forecasters.push_back(
-        std::make_unique<forecast::HoltWintersForecaster>(epochs_per_day));
-
-    std::vector<RunningStats> sq_err(forecasters.size());
-    RunningStats peaks;
-    std::size_t sample_idx = 0;
-    for (std::size_t e = 0; e < days * epochs_per_day; ++e) {
-      double peak = 0.0;
-      for (std::size_t s = 0; s < kappa; ++s) {
-        peak = std::max(peak, demand.sample(sample_idx++, rng));
-      }
-      if (e >= 2 * epochs_per_day) {  // score after HW warm-up
-        for (std::size_t f = 0; f < forecasters.size(); ++f) {
-          const double err = forecasters[f]->forecast(1).value - peak;
-          sq_err[f].add(err * err);
-        }
-        peaks.add(peak);
-      }
-      for (auto& f : forecasters) f->observe(peak);
-    }
-
-    for (std::size_t f = 0; f < forecasters.size(); ++f) {
-      Row row("ablation_forecast");
-      row.set("jitter", jitter)
-          .set("forecaster", forecasters[f]->name())
-          .set("rmse", std::sqrt(sq_err[f].mean()))
-          .set("nrmse_pct", 100.0 * std::sqrt(sq_err[f].mean()) / peaks.mean())
-          .set("sigma_hat", forecasters[f]->forecast(1).uncertainty);
-      row.print();
-    }
+    sweep.add([jitter] { return forecast_point(jitter); });
   }
+  sweep.run();
   return 0;
 }

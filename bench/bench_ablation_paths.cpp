@@ -2,6 +2,10 @@
 // P_{b,c}; more alternatives give the optimizer room to route around
 // congested links at the cost of a larger decision space. Sweep k on the
 // path-diverse Romanian topology and report revenue and solve time.
+//
+// The k × algorithm grid is ScenarioConfig-shaped, so it batches through
+// bench::ScenarioSweep like fig4/5/6: all points evaluated concurrently,
+// rows emitted in insertion (grid) order.
 #include <cstdio>
 
 #include "bench_util.hpp"
@@ -12,6 +16,7 @@ int main() {
 
   std::printf("# Ablation A2: k-shortest-path catalog size vs revenue and "
               "solve time\n");
+  bench::ScenarioSweep sweep;
   for (std::size_t k : {1, 2, 4, 8}) {
     for (Algorithm algo : {Algorithm::Benders, Algorithm::Kac}) {
       ScenarioConfig cfg = bench::base_scenario("romanian", algo, 29);
@@ -19,16 +24,17 @@ int main() {
       // Moderate load with volatile traffic: transport contention matters.
       cfg.tenants = homogeneous(slice::SliceType::eMBB,
                                 bench::tenant_count("romanian"), 0.5, 0.5, 4.0);
-      const ScenarioResult r = run_scenario(cfg);
-      Row row("ablation_paths");
-      row.set("k", k)
-          .set("algo", std::string(to_string(algo)))
-          .set("revenue", r.mean_net_revenue)
-          .set("accepted", r.accepted)
-          .set("solve_ms", r.solve_ms);
-      row.print();
-      std::fflush(stdout);
+      sweep.add(cfg, [k, algo](const ScenarioResult& r) {
+        Row row("ablation_paths");
+        row.set("k", k)
+            .set("algo", std::string(to_string(algo)))
+            .set("revenue", r.mean_net_revenue)
+            .set("accepted", r.accepted)
+            .set("solve_ms", r.solve_ms);
+        row.print();
+      });
     }
   }
+  sweep.run();
   return 0;
 }

@@ -5,16 +5,70 @@
 // optimum — the shape to verify is Benders' super-linear growth against
 // KAC's near-flat cost, with a small KAC optimality gap for eMBB-heavy
 // instances.
+//
+// The grid points are independent (each builds its own topology, catalog
+// and instance from fixed seeds), so they batch through bench::TaskSweep:
+// evaluated concurrently on the exec pool, rows emitted in size order.
+// Wall times shift with machine load; every other column is deterministic.
 #include <cstdio>
+#include <string>
 
 #include "acrr/benders.hpp"
 #include "acrr/kac.hpp"
 #include "bench_util.hpp"
 #include "topo/generators.hpp"
 
-int main() {
+namespace {
+
+std::string convergence_point(double scale, std::size_t tenants) {
   using namespace ovnes;
   using namespace ovnes::acrr;
+
+  const topo::Topology topo = topo::make_romanian({scale, 17});
+  const topo::PathCatalog catalog(topo, 2);
+  std::vector<TenantModel> tms;
+  RngStream rng(17);
+  for (std::size_t i = 0; i < tenants; ++i) {
+    TenantModel tm;
+    tm.request.tenant = TenantId(static_cast<std::uint32_t>(i));
+    tm.request.name = "t" + std::to_string(i);
+    const auto type = static_cast<slice::SliceType>(rng.uniform_int(0, 2));
+    tm.request.tmpl = slice::standard_template(type);
+    tm.request.duration_epochs = 20;
+    tm.request.penalty_factor = 1.0;
+    tm.lambda_hat = rng.uniform(0.2, 0.6) * tm.request.tmpl.sla_rate;
+    tm.sigma_hat = rng.uniform(0.05, 0.3);
+    tms.push_back(std::move(tm));
+  }
+  const AcrrInstance inst(topo, catalog, tms);
+
+  BendersOptions bopts;
+  bopts.time_limit_sec = 60.0;
+  const AdmissionResult exact = solve_benders(inst, bopts);
+  const AdmissionResult kac = solve_kac(inst);
+  const double gap_pct =
+      exact.objective < -1e-9
+          ? 100.0 * (kac.objective - exact.objective) / -exact.objective
+          : 0.0;
+
+  Row row("convergence");
+  row.set("num_bs", topo.num_bs())
+      .set("tenants", tenants)
+      .set("vars", inst.vars().size())
+      .set("benders_ms", exact.solve_ms)
+      .set("benders_iters", exact.iterations)
+      .set("benders_optimal", exact.optimal)
+      .set("kac_ms", kac.solve_ms)
+      .set("kac_gap_pct", gap_pct)
+      .set("benders_accepted", exact.num_accepted())
+      .set("kac_accepted", kac.num_accepted());
+  return row.str() + "\n";
+}
+
+}  // namespace
+
+int main() {
+  using namespace ovnes;
 
   const std::vector<std::pair<double, std::size_t>> sizes =
       bench::fast_mode()
@@ -23,47 +77,12 @@ int main() {
                 {0.02, 6}, {0.04, 10}, {0.06, 16}, {0.08, 24}, {0.10, 32}};
 
   std::printf("# Convergence: Benders (exact) vs KAC wall time and gap\n");
+  bench::TaskSweep sweep;
   for (const auto& [scale, tenants] : sizes) {
-    const topo::Topology topo = topo::make_romanian({scale, 17});
-    const topo::PathCatalog catalog(topo, 2);
-    std::vector<TenantModel> tms;
-    RngStream rng(17);
-    for (std::size_t i = 0; i < tenants; ++i) {
-      TenantModel tm;
-      tm.request.tenant = TenantId(static_cast<std::uint32_t>(i));
-      tm.request.name = "t" + std::to_string(i);
-      const auto type = static_cast<slice::SliceType>(rng.uniform_int(0, 2));
-      tm.request.tmpl = slice::standard_template(type);
-      tm.request.duration_epochs = 20;
-      tm.request.penalty_factor = 1.0;
-      tm.lambda_hat = rng.uniform(0.2, 0.6) * tm.request.tmpl.sla_rate;
-      tm.sigma_hat = rng.uniform(0.05, 0.3);
-      tms.push_back(std::move(tm));
-    }
-    const AcrrInstance inst(topo, catalog, tms);
-
-    BendersOptions bopts;
-    bopts.time_limit_sec = 60.0;
-    const AdmissionResult exact = solve_benders(inst, bopts);
-    const AdmissionResult kac = solve_kac(inst);
-    const double gap_pct =
-        exact.objective < -1e-9
-            ? 100.0 * (kac.objective - exact.objective) / -exact.objective
-            : 0.0;
-
-    Row row("convergence");
-    row.set("num_bs", topo.num_bs())
-        .set("tenants", tenants)
-        .set("vars", inst.vars().size())
-        .set("benders_ms", exact.solve_ms)
-        .set("benders_iters", exact.iterations)
-        .set("benders_optimal", exact.optimal)
-        .set("kac_ms", kac.solve_ms)
-        .set("kac_gap_pct", gap_pct)
-        .set("benders_accepted", exact.num_accepted())
-        .set("kac_accepted", kac.num_accepted());
-    row.print();
-    std::fflush(stdout);
+    const double s = scale;
+    const std::size_t t = tenants;
+    sweep.add([s, t] { return convergence_point(s, t); });
   }
+  sweep.run();
   return 0;
 }

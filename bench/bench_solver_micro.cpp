@@ -3,11 +3,14 @@
 // Benders slave, and Yen's k-shortest paths on operator topologies.
 #include <benchmark/benchmark.h>
 
+#include <sys/resource.h>
+
 #include "acrr/benders.hpp"
 #include "acrr/kac.hpp"
 #include "acrr/slave.hpp"
 #include "common/rng.hpp"
 #include "exec/thread_pool.hpp"
+#include "solver/lp_session.hpp"
 #include "solver/milp.hpp"
 #include "solver/simplex.hpp"
 #include "topo/generators.hpp"
@@ -168,6 +171,94 @@ void BM_CutResolveWarmDense(benchmark::State& state) {
 }
 BENCHMARK(BM_CutResolveWarmDense)->Unit(benchmark::kMillisecond);
 
+// P4 (ISSUE 4 acceptance): cut re-solve algorithm comparison at m ∈
+// {200, 300, 500}. Same Benders-master shape as the kernel loop above —
+// solve, append a violated cut, re-solve, six times — under the three
+// re-solve strategies:
+//   * Dual    — stateful LpSession: cuts appended through add_cut, dual
+//               simplex restores feasibility (no Phase 1 at all);
+//   * Primal  — warm solve_lp: artificial repair + short Phase 1 (the
+//               PR 2/3 path; equals BM_CutResolveWarmLu at m = 300);
+//   * Cold    — stateless re-solve from scratch.
+// Dual must beat Primal on `simplex_iters` and wall time at m >= 200;
+// `dual_resolves` counts the re-solves that actually took the dual path.
+enum class CutResolveMode { Dual, Primal, Cold };
+
+void cut_resolve_mode_loop(benchmark::State& state, CutResolveMode mode) {
+  const int n = static_cast<int>(state.range(0));
+  long iters = 0;
+  long dual_resolves = 0;
+  for (auto _ : state) {
+    LpModel m = random_lp(n, n, 11);
+    RngStream rng(5);
+    iters = 0;
+    dual_resolves = 0;
+    const auto make_cut = [&](const std::vector<double>& x) {
+      std::vector<Coef> coefs;
+      double lhs = 0.0;
+      for (int j = 0; j < n; ++j) {
+        const double a = rng.uniform(0.1, 1.0);
+        coefs.push_back({j, a});
+        lhs += a * x[static_cast<size_t>(j)];
+      }
+      return std::pair{coefs, 0.8 * lhs};
+    };
+    if (mode == CutResolveMode::Dual) {
+      LpSession sess(std::move(m));
+      const LpResult* r = &sess.solve();
+      iters += r->iterations;
+      for (int k = 0; k < 6 && r->status == LpStatus::Optimal; ++k) {
+        auto [coefs, rhs] = make_cut(r->x);
+        sess.add_cut("cut" + std::to_string(k), RowSense::LessEq, rhs,
+                     std::move(coefs));
+        r = &sess.solve();
+        iters += r->iterations;
+        if (r->used_dual_simplex) ++dual_resolves;
+      }
+      benchmark::DoNotOptimize(r);
+    } else {
+      LpResult r = solve_lp(m);
+      iters += r.iterations;
+      Basis basis = r.basis;
+      for (int k = 0; k < 6 && r.status == LpStatus::Optimal; ++k) {
+        auto [coefs, rhs] = make_cut(r.x);
+        m.add_row("cut" + std::to_string(k), RowSense::LessEq, rhs,
+                  std::move(coefs));
+        const Basis* warm = mode == CutResolveMode::Primal && !basis.empty()
+                                ? &basis
+                                : nullptr;
+        r = solve_lp(m, {}, warm);
+        iters += r.iterations;
+        basis = r.basis;
+      }
+      benchmark::DoNotOptimize(r);
+    }
+  }
+  state.counters["simplex_iters"] = static_cast<double>(iters);
+  if (mode == CutResolveMode::Dual) {
+    state.counters["dual_resolves"] = static_cast<double>(dual_resolves);
+  }
+  state.SetLabel("m=" + std::to_string(n));
+}
+
+void BM_CutResolveDual(benchmark::State& state) {
+  cut_resolve_mode_loop(state, CutResolveMode::Dual);
+}
+BENCHMARK(BM_CutResolveDual)
+    ->Arg(200)->Arg(300)->Arg(500)->Unit(benchmark::kMillisecond);
+
+void BM_CutResolvePrimal(benchmark::State& state) {
+  cut_resolve_mode_loop(state, CutResolveMode::Primal);
+}
+BENCHMARK(BM_CutResolvePrimal)
+    ->Arg(200)->Arg(300)->Arg(500)->Unit(benchmark::kMillisecond);
+
+void BM_CutResolveCold(benchmark::State& state) {
+  cut_resolve_mode_loop(state, CutResolveMode::Cold);
+}
+BENCHMARK(BM_CutResolveCold)
+    ->Arg(200)->Arg(300)->Arg(500)->Unit(benchmark::kMillisecond);
+
 // P3: branch-and-bound node throughput (ISSUE 3 acceptance). A weakly
 // correlated multi-knapsack forces a deep tree; `nodes_per_sec` is the
 // headline counter. Three comparisons:
@@ -208,14 +299,26 @@ void milp_node_throughput_loop(benchmark::State& state, int threads,
   opts.pool = &pool;
   opts.copy_node_models = copy_models;
   long nodes = 0;
+  long peak_open = 0;
   double objective = 0.0;
   for (auto _ : state) {
     const MilpResult r = solve_milp(m, opts);
     nodes += r.nodes;
+    peak_open = std::max(peak_open, r.peak_open_nodes);
     objective = r.objective;
   }
   state.counters["nodes_per_sec"] = benchmark::Counter(
       static_cast<double>(nodes), benchmark::Counter::kIsRate);
+  // Memory footprint of the open pool (ISSUE 4 satellite): queued nodes
+  // hold a refcounted handle to the parent basis instead of a full Basis
+  // copy, so peak RSS stays flat as peak_open_nodes grows. ru_maxrss is a
+  // process-wide high-water mark (kilobytes on Linux) — compare across
+  // the benchmark binary's variants, not across runs.
+  struct rusage ru{};
+  getrusage(RUSAGE_SELF, &ru);
+  state.counters["peak_open_nodes"] = static_cast<double>(peak_open);
+  state.counters["peak_rss_mb"] =
+      static_cast<double>(ru.ru_maxrss) / 1024.0;
   state.SetLabel("obj=" + std::to_string(objective));
 }
 

@@ -96,4 +96,35 @@ class ScenarioSweep {
   std::vector<Emitter> emitters_;
 };
 
+/// Ordered-emission batch for benches whose grid points are not
+/// ScenarioConfig-shaped (hand-built AcrrInstances, stateful Simulation
+/// days, pure-forecasting sweeps): each task renders its complete output
+/// block (Row::str() lines) and run() evaluates the batch concurrently on
+/// the exec pool, printing blocks in insertion order. Tasks must be
+/// self-contained — own RNG streams, instances, simulations — so each
+/// block is a pure function of its inputs and stdout stays byte-identical
+/// to the old sequential loops at any OVNES_THREADS.
+class TaskSweep {
+ public:
+  using Task = std::function<std::string()>;
+
+  void add(Task task) { tasks_.push_back(std::move(task)); }
+
+  [[nodiscard]] std::size_t size() const { return tasks_.size(); }
+
+  /// Evaluate, print in insertion order, clear.
+  void run(exec::ThreadPool* pool = nullptr) {
+    exec::ThreadPool& p = pool != nullptr ? *pool : exec::ThreadPool::global();
+    std::vector<std::string> blocks(tasks_.size());
+    p.parallel_for(0, tasks_.size(),
+                   [&](std::size_t i) { blocks[i] = tasks_[i](); });
+    for (const std::string& b : blocks) std::fputs(b.c_str(), stdout);
+    std::fflush(stdout);
+    tasks_.clear();
+  }
+
+ private:
+  std::vector<Task> tasks_;
+};
+
 }  // namespace ovnes::bench

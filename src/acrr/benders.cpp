@@ -234,6 +234,12 @@ AdmissionResult solve_benders(const AcrrInstance& inst,
   };
 
   detail::MasterModel master = detail::build_master(inst, /*with_theta=*/true);
+  // Long-lived master session: the model moves in once; every iteration
+  // appends its cuts through the session and re-solves via
+  // solve_milp(session), whose root LP restarts from the incumbent basis
+  // with dual simplex — the cut leaves it dual-feasible — instead of the
+  // artificial-repair Phase 1 the old Basis plumbing went through.
+  LpSession msession(std::move(master.lp), opts.master.lp);
   SlaveProblem slave(inst);
   // One extra SlaveProblem per probed tenant, created lazily and reused
   // across iterations so each keeps its own warm-basis cache — the
@@ -264,11 +270,6 @@ AdmissionResult solve_benders(const AcrrInstance& inst,
   double best_deficit = 0.0;
   int iter = 0;
 
-  // Root basis of the previous master solve: after appending one cut row
-  // the next master's root LP re-solves from it with a short repair instead
-  // of a cold Phase 1.
-  Basis master_basis;
-
   for (; iter < opts.max_iterations; ++iter) {
     MilpOptions mopts = opts.master;
     // Serial master: a parallel branch-and-bound may return a different
@@ -279,13 +280,10 @@ AdmissionResult solve_benders(const AcrrInstance& inst,
     mopts.time_limit_sec =
         std::min(mopts.time_limit_sec, opts.time_limit_sec - elapsed());
     if (mopts.time_limit_sec <= 0.0) break;
-    if (opts.warm_start && !master_basis.empty()) {
-      mopts.warm_start = &master_basis;
-    }
-    const MilpResult mr = solve_milp(master.lp, mopts);
-    if (opts.warm_start && !mr.root_basis.empty()) {
-      master_basis = mr.root_basis;
-    }
+    // The session carries the previous root basis across iterations by
+    // itself; without warm_start it cold-solves like the pre-session loop.
+    if (!opts.warm_start) msession.clear_basis();
+    const MilpResult mr = solve_milp(msession, mopts);
     if (mr.status == MilpStatus::Infeasible) {
       // Structurally infeasible master (e.g. conflicting pinned slices
       // without the §3.4 relaxation): report an empty admission.
@@ -368,7 +366,7 @@ AdmissionResult solve_benders(const AcrrInstance& inst,
       for (const auto& [j, c] : sr.cut.coefs) {
         coefs.push_back({master.x_col[static_cast<size_t>(j)], c});
       }
-      master.lp.add_row("optcut" + std::to_string(iter), RowSense::LessEq,
+      msession.add_cut("optcut" + std::to_string(iter), RowSense::LessEq,
                         -sr.cut.constant, std::move(coefs));
     } else if (!vacuous_stop) {
       // Feasibility cut (22): const + Σ coef·x <= 0.
@@ -376,7 +374,7 @@ AdmissionResult solve_benders(const AcrrInstance& inst,
       for (const auto& [j, c] : sr.cut.coefs) {
         coefs.push_back({master.x_col[static_cast<size_t>(j)], c});
       }
-      master.lp.add_row("feascut" + std::to_string(iter), RowSense::LessEq,
+      msession.add_cut("feascut" + std::to_string(iter), RowSense::LessEq,
                         -sr.cut.constant, std::move(coefs));
     }
 
@@ -399,7 +397,7 @@ AdmissionResult solve_benders(const AcrrInstance& inst,
         for (const auto& [j, c] : pr.cut.coefs) {
           coefs.push_back({master.x_col[static_cast<size_t>(j)], c});
         }
-        master.lp.add_row("optcut" + suffix, RowSense::LessEq,
+        msession.add_cut("optcut" + suffix, RowSense::LessEq,
                           -pr.cut.constant, std::move(coefs));
       } else {
         if (pr.cut.coefs.empty() && pr.cut.constant <= 0.0) continue;
@@ -407,7 +405,7 @@ AdmissionResult solve_benders(const AcrrInstance& inst,
         for (const auto& [j, c] : pr.cut.coefs) {
           coefs.push_back({master.x_col[static_cast<size_t>(j)], c});
         }
-        master.lp.add_row("feascut" + suffix, RowSense::LessEq,
+        msession.add_cut("feascut" + suffix, RowSense::LessEq,
                           -pr.cut.constant, std::move(coefs));
       }
     }
@@ -496,7 +494,8 @@ AdmissionResult solve_no_overbooking(const AcrrInstance& inst,
     }
   }
 
-  const MilpResult mr = solve_milp(m.lp, opts);
+  LpSession session(std::move(m.lp), opts.lp);
+  const MilpResult mr = solve_milp(session, opts);
   AdmissionResult res;
   res.solve_ms = std::chrono::duration<double>(
                      std::chrono::steady_clock::now() - t0).count() * 1e3;

@@ -91,7 +91,8 @@ AdmissionResult solve_exact_milp(const AcrrInstance& inst,
   }
 
   // Objective x-part: (Λ·w − R/B)·x (already set by build_master).
-  const MilpResult mr = solve_milp(m.lp, opts);
+  solver::LpSession session(std::move(m.lp), opts.lp);
+  const MilpResult mr = solve_milp(session, opts);
   AdmissionResult res;
   const double ms = std::chrono::duration<double>(
                         std::chrono::steady_clock::now() - t0).count() * 1e3;

@@ -40,107 +40,117 @@ SlaveResult SlaveProblem::solve(const std::vector<char>& x_active,
   const topo::Topology& topo = inst.topology();
   const bool full_reservation = inst.config().no_overbooking;
 
-  // ---- Collect active variables and the resource rows they touch.
-  std::vector<int> active;
-  for (std::size_t j = 0; j < vars.size(); ++j) {
-    if (x_active[j]) active.push_back(static_cast<int>(j));
-  }
+  // ---- Session cache: when the master proposes the same activation
+  // vector as the cached session, skip the model build outright and
+  // re-solve the live session (its incumbent basis re-verifies in zero
+  // pivots). Otherwise (re)build the slave LP and its row/variable maps.
+  const bool cache_hit = reuse_basis && session_.has_value() &&
+                         warm_deficit_ == allow_deficit &&
+                         warm_active_ == x_active;
+  std::optional<LpSession> scratch;  // reuse_basis == false path
+  std::map<int, int> z_local;
+  std::vector<RowRef> refs_local;
+  std::vector<int> deficit_local;
+  if (!cache_hit) {
+    // ---- Collect active variables and the resource rows they touch.
+    std::vector<int> active;
+    for (std::size_t j = 0; j < vars.size(); ++j) {
+      if (x_active[j]) active.push_back(static_cast<int>(j));
+    }
 
-  LpModel lp;
-  // z variable per active path; z in [λ̂, Λ] (or pinned to Λ for the
-  // no-overbooking baseline).
-  std::map<int, int> z_of;  // instance var -> lp var
-  for (int j : active) {
-    const VarInfo& v = vars[static_cast<size_t>(j)];
-    const double lo = full_reservation ? v.sla : std::min(v.lambda_hat, v.sla);
-    lp.add_variable("z" + std::to_string(j), lo, v.sla, -v.w);
-    z_of[j] = lp.num_vars() - 1;
-  }
-
-  // Aggregate deficit variables (§3.4): δc (compute), δb (transport),
-  // δr (radio), each relaxing every row of its domain.
-  int d_compute = -1, d_transport = -1, d_radio = -1;
-  if (allow_deficit) {
-    const double m = inst.config().big_m;
-    d_compute = lp.add_variable("delta_c", 0.0, kInf, m);
-    d_transport = lp.add_variable("delta_b", 0.0, kInf, m);
-    d_radio = lp.add_variable("delta_r", 0.0, kInf, m);
-  }
-
-  // Row bookkeeping for dual extraction: (kind, id) per LP row.
-  enum class RowKind { Compute, Transport, Radio };
-  struct RowRef {
-    RowKind kind;
-    std::uint32_t id;
-    double base_capacity;
-  };
-  std::vector<RowRef> row_refs;
-
-  // ---- Compute rows (14): Σ (a/B)·x + b·z <= C_c + δc. The a-terms of
-  // the *active* variables are constants here and move to the RHS.
-  for (std::size_t ci = 0; ci < inst.num_cu(); ++ci) {
-    const CuId c(static_cast<std::uint32_t>(ci));
-    std::vector<Coef> coefs;
-    double fixed = 0.0;
+    LpModel lp;
+    // z variable per active path; z in [λ̂, Λ] (or pinned to Λ for the
+    // no-overbooking baseline).
     for (int j : active) {
       const VarInfo& v = vars[static_cast<size_t>(j)];
-      if (!(v.cu == c)) continue;
-      fixed += baseline_share(inst, v);
-      const double b = cores_per_mbps(inst, v);
-      if (b > 0.0) coefs.push_back({z_of[j], b});
+      const double lo = full_reservation ? v.sla : std::min(v.lambda_hat, v.sla);
+      lp.add_variable("z" + std::to_string(j), lo, v.sla, -v.w);
+      z_local[j] = lp.num_vars() - 1;
     }
-    if (coefs.empty() && fixed == 0.0) continue;
-    if (d_compute >= 0) coefs.push_back({d_compute, -1.0});
-    lp.add_row("cu" + std::to_string(ci), RowSense::LessEq,
-               topo.cu(c).capacity - fixed, std::move(coefs));
-    row_refs.push_back({RowKind::Compute, c.value(), topo.cu(c).capacity});
-  }
 
-  // ---- Transport rows (15): Σ η_e·z <= C_e + δb, per touched link.
-  std::map<std::uint32_t, std::vector<Coef>> link_rows;
-  for (int j : active) {
-    const VarInfo& v = vars[static_cast<size_t>(j)];
-    for (LinkId e : v.path->links) {
-      link_rows[e.value()].push_back(
-          {z_of[j], topo.graph.link(e).overhead});
+    // Aggregate deficit variables (§3.4): δc (compute), δb (transport),
+    // δr (radio), each relaxing every row of its domain.
+    int d_compute = -1, d_transport = -1, d_radio = -1;
+    if (allow_deficit) {
+      const double m = inst.config().big_m;
+      d_compute = lp.add_variable("delta_c", 0.0, kInf, m);
+      d_transport = lp.add_variable("delta_b", 0.0, kInf, m);
+      d_radio = lp.add_variable("delta_r", 0.0, kInf, m);
+      deficit_local = {d_compute, d_transport, d_radio};
     }
-  }
-  for (auto& [link_id, coefs] : link_rows) {
-    const auto cap = topo.graph.link(LinkId(link_id)).capacity;
-    if (d_transport >= 0) coefs.push_back({d_transport, -1.0});
-    lp.add_row("link" + std::to_string(link_id), RowSense::LessEq, cap,
-               std::move(coefs));
-    row_refs.push_back({RowKind::Transport, link_id, cap});
-  }
 
-  // ---- Radio rows (16): Σ η_{τ,b}·z <= C_b + δr, per touched BS.
-  for (std::size_t bi = 0; bi < inst.num_bs(); ++bi) {
-    const BsId b(static_cast<std::uint32_t>(bi));
-    std::vector<Coef> coefs;
+    // ---- Compute rows (14): Σ (a/B)·x + b·z <= C_c + δc. The a-terms of
+    // the *active* variables are constants here and move to the RHS.
+    for (std::size_t ci = 0; ci < inst.num_cu(); ++ci) {
+      const CuId c(static_cast<std::uint32_t>(ci));
+      std::vector<Coef> coefs;
+      double fixed = 0.0;
+      for (int j : active) {
+        const VarInfo& v = vars[static_cast<size_t>(j)];
+        if (!(v.cu == c)) continue;
+        fixed += baseline_share(inst, v);
+        const double b = cores_per_mbps(inst, v);
+        if (b > 0.0) coefs.push_back({z_local[j], b});
+      }
+      if (coefs.empty() && fixed == 0.0) continue;
+      if (d_compute >= 0) coefs.push_back({d_compute, -1.0});
+      lp.add_row("cu" + std::to_string(ci), RowSense::LessEq,
+                 topo.cu(c).capacity - fixed, std::move(coefs));
+      refs_local.push_back({RowKind::Compute, c.value()});
+    }
+
+    // ---- Transport rows (15): Σ η_e·z <= C_e + δb, per touched link.
+    std::map<std::uint32_t, std::vector<Coef>> link_rows;
     for (int j : active) {
       const VarInfo& v = vars[static_cast<size_t>(j)];
-      if (v.bs == b) coefs.push_back({z_of[j], v.radio_prbs_per_mbps});
+      for (LinkId e : v.path->links) {
+        link_rows[e.value()].push_back(
+            {z_local[j], topo.graph.link(e).overhead});
+      }
     }
-    if (coefs.empty()) continue;
-    if (d_radio >= 0) coefs.push_back({d_radio, -1.0});
-    lp.add_row("bs" + std::to_string(bi), RowSense::LessEq,
-               topo.bs(b).capacity, std::move(coefs));
-    row_refs.push_back({RowKind::Radio, b.value(), topo.bs(b).capacity});
+    for (auto& [link_id, coefs] : link_rows) {
+      const auto cap = topo.graph.link(LinkId(link_id)).capacity;
+      if (d_transport >= 0) coefs.push_back({d_transport, -1.0});
+      lp.add_row("link" + std::to_string(link_id), RowSense::LessEq, cap,
+                 std::move(coefs));
+      refs_local.push_back({RowKind::Transport, link_id});
+    }
+
+    // ---- Radio rows (16): Σ η_{τ,b}·z <= C_b + δr, per touched BS.
+    for (std::size_t bi = 0; bi < inst.num_bs(); ++bi) {
+      const BsId b(static_cast<std::uint32_t>(bi));
+      std::vector<Coef> coefs;
+      for (int j : active) {
+        const VarInfo& v = vars[static_cast<size_t>(j)];
+        if (v.bs == b) coefs.push_back({z_local[j], v.radio_prbs_per_mbps});
+      }
+      if (coefs.empty()) continue;
+      if (d_radio >= 0) coefs.push_back({d_radio, -1.0});
+      lp.add_row("bs" + std::to_string(bi), RowSense::LessEq,
+                 topo.bs(b).capacity, std::move(coefs));
+      refs_local.push_back({RowKind::Radio, b.value()});
+    }
+
+    if (reuse_basis) {
+      session_.emplace(std::move(lp));
+      z_of_ = std::move(z_local);
+      row_refs_ = std::move(refs_local);
+      deficit_cols_ = std::move(deficit_local);
+      warm_active_ = x_active;
+      warm_deficit_ = allow_deficit;
+    } else {
+      scratch.emplace(std::move(lp));
+    }
   }
 
-  const Basis* warm = nullptr;
-  if (reuse_basis && !warm_basis_.empty() && warm_deficit_ == allow_deficit &&
-      warm_active_ == x_active) {
-    warm = &warm_basis_;
-  }
-  const LpResult lr = solve_lp(lp, {}, warm);
-  if (reuse_basis && lr.status == LpStatus::Optimal && !lr.basis.empty()) {
-    warm_basis_ = lr.basis;
-    warm_active_ = x_active;
-    warm_deficit_ = allow_deficit;
-  } else if (reuse_basis) {
-    warm_basis_ = {};
-  }
+  LpSession& sess = scratch.has_value() ? *scratch : *session_;
+  const std::map<int, int>& z_of = scratch.has_value() ? z_local : z_of_;
+  const std::vector<RowRef>& row_refs =
+      scratch.has_value() ? refs_local : row_refs_;
+  const std::vector<int>& deficit_cols =
+      scratch.has_value() ? deficit_local : deficit_cols_;
+
+  const LpResult& lr = sess.solve();
   SlaveResult out;
   out.z.assign(vars.size(), 0.0);
 
@@ -150,7 +160,7 @@ SlaveResult SlaveProblem::solve(const std::vector<char>& x_active,
   // slave) carries neither certificate, so report infeasible with an empty
   // cut rather than price from a vector that was never populated — the
   // Benders loop detects the vacuous cut and stops instead of spinning.
-  // (The cached warm basis was already dropped above for the same reason:
+  // (The session already dropped its incumbent basis for the same reason:
   // a limit-hit solve leaves nothing worth restarting from.)
   const bool feasible = lr.status == LpStatus::Optimal;
   if (!feasible && lr.status != LpStatus::Infeasible) {
@@ -224,9 +234,8 @@ SlaveResult SlaveProblem::solve(const std::vector<char>& x_active,
     out.z[static_cast<size_t>(j)] = lr.x[static_cast<size_t>(zv)];
   }
   if (allow_deficit) {
-    out.deficit = lr.x[static_cast<size_t>(d_compute)] +
-                  lr.x[static_cast<size_t>(d_transport)] +
-                  lr.x[static_cast<size_t>(d_radio)];
+    out.deficit = 0.0;
+    for (int d : deficit_cols) out.deficit += lr.x[static_cast<size_t>(d)];
   }
   return out;
 }

@@ -12,10 +12,14 @@
 // DESIGN.md "Deliberate modelling choices" #1 for the equivalence argument.
 #pragma once
 
+#include <cstdint>
+#include <map>
+#include <optional>
 #include <vector>
 
 #include "acrr/instance.hpp"
 #include "solver/lp_model.hpp"
+#include "solver/lp_session.hpp"
 #include "solver/simplex.hpp"
 
 namespace ovnes::acrr {
@@ -46,20 +50,33 @@ class SlaveProblem {
   /// Solve P_S(x̄). `x_active[j]` marks variable j active. When
   /// `allow_deficit` the §3.4 aggregate deficit variables δr/δb/δc are
   /// added (the slave is then always feasible). With `reuse_basis` the
-  /// optimal basis of the previous call is cached and re-used whenever the
-  /// master proposes an activation vector seen on the previous iteration
-  /// (the LP is then identical and Phase 1 is skipped outright).
+  /// LpSession built for the previous activation vector is kept alive and
+  /// re-solved directly whenever the master proposes the same x̄ again —
+  /// the model is not even rebuilt and the incumbent basis re-verifies in
+  /// zero pivots.
   [[nodiscard]] SlaveResult solve(const std::vector<char>& x_active,
                                   bool allow_deficit,
                                   bool reuse_basis = true) const;
 
  private:
+  /// LP row provenance for dual/Farkas extraction: which resource each
+  /// capacity row prices.
+  enum class RowKind : unsigned char { Compute, Transport, Radio };
+  struct RowRef {
+    RowKind kind;
+    std::uint32_t id;
+  };
+
   const AcrrInstance* inst_;
-  // Warm-start cache for repeated activation vectors. Mutable: the slave
+  // Session cache for repeated activation vectors, along with the row/
+  // variable maps needed to read its solution back. Mutable: the slave
   // stays logically const per call; note this makes concurrent solve()
   // calls on ONE SlaveProblem racy — use distinct instances per thread
   // (solve_benders already does).
-  mutable solver::Basis warm_basis_;
+  mutable std::optional<solver::LpSession> session_;
+  mutable std::map<int, int> z_of_;        ///< instance var -> lp var
+  mutable std::vector<RowRef> row_refs_;   ///< per LP row
+  mutable std::vector<int> deficit_cols_;  ///< δc/δb/δr lp vars (or empty)
   mutable std::vector<char> warm_active_;
   mutable bool warm_deficit_ = false;
 };

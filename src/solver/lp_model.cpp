@@ -50,6 +50,13 @@ int LpModel::add_row(std::string name, RowSense sense, double rhs,
   return num_rows() - 1;
 }
 
+void LpModel::truncate_rows(int num_rows) {
+  if (num_rows < 0 || num_rows > this->num_rows()) {
+    throw std::out_of_range("LpModel: truncate_rows beyond current rows");
+  }
+  rows_.resize(static_cast<size_t>(num_rows));
+}
+
 void LpModel::set_bounds(int var, double lower, double upper) {
   assert(var >= 0 && var < num_vars());
   if (lower > upper) throw std::invalid_argument("LpModel: lower > upper");

@@ -54,6 +54,11 @@ class LpModel {
   int add_row(std::string name, RowSense sense, double rhs,
               std::vector<Coef> coefs);
 
+  /// Drop every row with index >= `num_rows`, restoring the state before a
+  /// run of add_row calls. Powers LpSession's scoped delta frames (cuts
+  /// appended inside a push() are discarded by the matching pop()).
+  void truncate_rows(int num_rows);
+
   /// Adjust an existing variable's objective coefficient.
   void set_cost(int var, double cost) { vars_[static_cast<size_t>(var)].cost = cost; }
   void set_bounds(int var, double lower, double upper);

@@ -1,0 +1,148 @@
+#include "solver/lp_session.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace ovnes::solver {
+
+LpSession::LpSession(LpModel model, SimplexOptions opts)
+    : model_(std::move(model)), opts_(opts) {
+  // Dual-simplex dispatch is the session's raison d'être; plain solve_lp
+  // callers that want the PR 3 primal-only behaviour get it through the
+  // wrappers below, which forward their own allow_dual setting.
+  opts_.allow_dual = true;
+}
+
+LpSession LpSession::borrow(const LpModel& model, SimplexOptions opts) {
+  LpSession s(LpModel{}, opts);
+  s.opts_ = opts;  // undo the ctor's allow_dual override: wrappers forward
+                   // the caller's exact options, PR 3 behaviour included
+  s.borrowed_ = &model;
+  return s;
+}
+
+LpModel& LpSession::mutable_model() {
+  if (borrowed_ != nullptr) {
+    throw std::logic_error(
+        "LpSession: typed deltas/frames need an owned model "
+        "(session was created with borrow())");
+  }
+  return model_;
+}
+
+int LpSession::add_cut(std::string name, RowSense sense, double rhs,
+                       std::vector<Coef> coefs) {
+  return mutable_model().add_row(std::move(name), sense, rhs,
+                                 std::move(coefs));
+}
+
+int LpSession::add_cut(Rowdef row) {
+  return mutable_model().add_row(std::move(row.name), row.sense, row.rhs,
+                                 std::move(row.coefs));
+}
+
+void LpSession::set_bounds(int var, double lower, double upper) {
+  LpModel& m = mutable_model();
+  if (!frames_.empty()) {
+    const Variable& v = m.variable(var);
+    frames_.back().saved_bounds.push_back({var, v.lower, v.upper});
+  }
+  m.set_bounds(var, lower, upper);
+}
+
+void LpSession::set_cost(int var, double cost) {
+  LpModel& m = mutable_model();
+  if (!frames_.empty()) {
+    frames_.back().saved_costs.push_back({var, m.variable(var).cost});
+  }
+  m.set_cost(var, cost);
+}
+
+void LpSession::push() {
+  Frame f;
+  f.num_rows = mutable_model().num_rows();
+  f.basis = basis_;
+  frames_.push_back(std::move(f));
+}
+
+void LpSession::pop() {
+  if (frames_.empty()) {
+    throw std::logic_error("LpSession::pop without matching push");
+  }
+  LpModel& m = mutable_model();
+  Frame& f = frames_.back();
+  // Undo in reverse order so a variable touched twice inside the frame
+  // lands back on its pre-frame values.
+  for (auto it = f.saved_costs.rbegin(); it != f.saved_costs.rend(); ++it) {
+    m.set_cost(it->var, it->cost);
+  }
+  for (auto it = f.saved_bounds.rbegin(); it != f.saved_bounds.rend(); ++it) {
+    m.set_bounds(it->var, it->lower, it->upper);
+  }
+  m.truncate_rows(f.num_rows);
+  basis_ = std::move(f.basis);
+  frames_.pop_back();
+}
+
+const LpResult& LpSession::solve() {
+  const Basis* warm =
+      (basis_ != nullptr && !basis_->empty()) ? basis_.get() : nullptr;
+  result_ = detail::simplex_solve(model(), opts_, warm);
+  if (result_.status == LpStatus::IterationLimit && result_.used_warm_start) {
+    // Warm starting is a pivot-count optimization and must never degrade
+    // the outcome: a numerically poor incumbent basis that stalls the
+    // solve is retried cold before reporting failure.
+    const int warm_iters = result_.iterations;
+    result_ = detail::simplex_solve(model(), opts_, nullptr);
+    result_.iterations += warm_iters;
+  }
+
+  ++stats_.solves;
+  stats_.iterations += result_.iterations;
+  if (result_.used_dual_simplex) ++stats_.dual_solves;
+  if (result_.used_warm_start) {
+    ++stats_.warm_solves;
+  } else {
+    ++stats_.cold_solves;
+  }
+
+  // One-shot borrowed sessions (the solve_lp wrappers) are discarded right
+  // after the solve: skip the incumbent-basis snapshot — the extra copy +
+  // allocation measurably churns the heap on tight re-solve loops.
+  if (borrowed_ != nullptr) return result_;
+
+  if (result_.status == LpStatus::Optimal && !result_.basis.empty()) {
+    basis_ = std::make_shared<const Basis>(result_.basis);
+  } else if (result_.status != LpStatus::Optimal) {
+    // A failed / infeasible / limit-hit solve leaves nothing worth
+    // restarting from; drop the incumbent so the next solve goes cold.
+    basis_.reset();
+  }
+  return result_;
+}
+
+// ---------------------------------------------------------------------
+// solve_lp compatibility wrappers: one throwaway *borrowed* session per
+// call (no model copy), with the caller's exact options (allow_dual
+// included — off by default, so pre-session callers keep the primal
+// repair path they were tuned on).
+
+LpResult solve_lp(const LpModel& model, const SimplexOptions& opts) {
+  LpSession session = LpSession::borrow(model, opts);
+  session.solve();
+  return session.take_last();
+}
+
+LpResult solve_lp(const LpModel& model, const SimplexOptions& opts,
+                  const Basis* warm) {
+  LpSession session = LpSession::borrow(model, opts);
+  if (warm != nullptr && !warm->empty()) {
+    // Non-owning aliasing handle: `warm` outlives this one-shot session,
+    // so the pre-session pointer contract needs no deep Basis copy here.
+    session.set_warm_basis(SharedBasis(SharedBasis{}, warm));
+  }
+  session.solve();
+  return session.take_last();
+}
+
+}  // namespace ovnes::solver

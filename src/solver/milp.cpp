@@ -8,6 +8,7 @@
 #include <limits>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <tuple>
 
 #include "exec/thread_pool.hpp"
@@ -38,10 +39,11 @@ struct Node {
   double parent_bound = -kInf;  ///< LP bound of the parent (for pruning)
   int depth = 0;
   long seq = 0;  ///< creation order; tie-break so one lane mimics old DFS
-  /// Parent's optimal LP basis: after branching only the branched variable
-  /// is pushed out of bounds, so the child LP re-solves from here with a
-  /// one-artificial repair instead of a full Phase 1.
-  Basis warm;
+  /// Parent's optimal LP basis, shared refcounted with the sibling node
+  /// and any LpSession frame still holding it: after branching only the
+  /// branched variable is pushed out of bounds, so the child LP re-solves
+  /// from here with a handful of dual pivots instead of a full Phase 1.
+  SharedBasis warm;
 };
 
 /// Heap order for the best-first pool: lowest parent bound first; among
@@ -72,12 +74,16 @@ struct BnbShared {
   MilpOptions opts;
   std::vector<int> int_vars;
   std::chrono::steady_clock::time_point t0;
+  /// Warm handle for the root node (and the dive): the caller session's
+  /// incumbent basis, or a shared copy of MilpOptions::warm_start.
+  SharedBasis root_warm;
 
   std::mutex mu;
   std::condition_variable cv;
   // All fields below are guarded by mu.
   std::vector<Node> open;  ///< heap under NodeWorse
   long next_seq = 0;
+  long peak_open = 0;      ///< high-water mark of the open pool
   int in_flight = 0;       ///< popped nodes whose LP is being evaluated
   bool done = false;
   double incumbent = kInf;
@@ -104,6 +110,7 @@ struct BnbShared {
     n.seq = next_seq++;
     open.push_back(std::move(n));
     std::push_heap(open.begin(), open.end(), NodeWorse{});
+    peak_open = std::max(peak_open, static_cast<long>(open.size()));
   }
   [[nodiscard]] Node pop_open() {
     std::pop_heap(open.begin(), open.end(), NodeWorse{});
@@ -142,7 +149,7 @@ void round_integers(const std::vector<int>& int_vars, std::vector<double>& x) {
 }
 
 /// OVNES_MILP_DEBUG diagnostics for an integral node whose solution still
-/// violates the model. `work` carries the node's bounds (not yet undone).
+/// violates the model. `work` carries the node's bounds (still applied).
 void debug_integral_violation(const LpModel& work, const MilpOptions& opts,
                               const LpResult& lp) {
   std::fprintf(stderr, "MILP DEBUG: integral node violates by %g (obj %g)\n",
@@ -174,123 +181,149 @@ void debug_integral_violation(const LpModel& work, const MilpOptions& opts,
 }
 
 /// Evaluate one popped node (its in_flight slot is held by the caller):
-/// solve the LP on the lane's working model, then publish the outcome —
+/// solve the LP inside a session delta frame, then publish the outcome —
 /// incumbent / children / bound bookkeeping — under the shared lock.
 /// Returns false when the search is done and the lane should exit. Note
 /// `sh.base` is only dereferenced here, i.e. while a node is held: after
 /// `done` no node is ever acquired, so a lane task that starts late never
 /// touches a caller model that may already be gone.
-bool evaluate_node(BnbShared& sh, Node& node, LpModel& work, bool& have_work) {
+bool evaluate_node(BnbShared& sh, Node& node,
+                   std::optional<LpSession>& sess) {
   const LpModel& base = *sh.base;
   const MilpOptions& opts = sh.opts;
 
   // ---- LP evaluation, outside the lock.
-  LpResult lp;
+  LpResult lp_copy;           // copy_node_models compatibility path
+  const LpResult* lp_ptr = nullptr;
+  SharedBasis child_basis;    // one handle shared by both children
   if (opts.copy_node_models) {
     LpModel copy = base;
     for (const auto& [var, lo, hi] : node.fixes) copy.set_bounds(var, lo, hi);
-    lp = solve_lp(copy, opts.lp, node.warm.empty() ? nullptr : &node.warm);
-  } else {
-    if (!have_work) {
-      work = base;
-      have_work = true;
+    // Same dual-simplex dispatch as the session path: this knob compares
+    // node *state management* (copies vs delta frames), not algorithms —
+    // both must explore bit-identical trees.
+    SimplexOptions lp_opts = opts.lp;
+    lp_opts.allow_dual = true;
+    lp_copy = solve_lp(copy, lp_opts,
+                       node.warm != nullptr ? node.warm.get() : nullptr);
+    if (lp_copy.status == LpStatus::InvalidBasis) {
+      // Stale externally supplied warm basis (MilpOptions::warm_start):
+      // retry cold, mirroring the session path below.
+      lp_copy = solve_lp(copy, lp_opts);
     }
-    for (const auto& [var, lo, hi] : node.fixes) work.set_bounds(var, lo, hi);
-    lp = solve_lp(work, opts.lp, node.warm.empty() ? nullptr : &node.warm);
+    lp_ptr = &lp_copy;
+    if (lp_copy.status == LpStatus::Optimal && !lp_copy.basis.empty()) {
+      child_basis = std::make_shared<const Basis>(lp_copy.basis);
+    }
+  } else {
+    // Lane-private session, constructed once per lane: the node's bound
+    // fixes are applied inside a push()ed delta frame (undone by pop()
+    // below) and the parent's basis rides in as a refcounted handle.
+    if (!sess.has_value()) sess.emplace(base, opts.lp);
+    sess->push();
+    for (const auto& [var, lo, hi] : node.fixes) sess->set_bounds(var, lo, hi);
+    sess->set_warm_basis(node.warm);
+    lp_ptr = &sess->solve();
+    if (lp_ptr->status == LpStatus::InvalidBasis) {
+      // Defensive: a stale externally supplied warm basis (only reachable
+      // via MilpOptions::warm_start) must not kill the node — drop it and
+      // re-solve cold, matching the pre-session silent-fallback contract
+      // for the tree search (plain solve_lp callers get the error).
+      sess->clear_basis();
+      lp_ptr = &sess->solve();
+    }
+    child_basis = sess->basis();
   }
+  const LpResult& lp = *lp_ptr;
 
   int frac = -1;
   if (lp.status == LpStatus::Optimal) {
     frac = pick_branch_var(base, sh.int_vars, opts.int_tol, lp.x);
     if (frac < 0 && !opts.copy_node_models &&
         std::getenv("OVNES_MILP_DEBUG") != nullptr &&
-        work.max_violation(lp.x) > 1e-5) {
-      debug_integral_violation(work, opts, lp);
-    }
-  }
-  if (!opts.copy_node_models) {
-    // Undo the node's bound deltas: every touched variable goes back to
-    // its root-model box (a variable fixed twice on the path restores
-    // the same base bounds twice — harmless).
-    for (const auto& [var, lo, hi] : node.fixes) {
-      (void)lo;
-      (void)hi;
-      work.set_bounds(var, base.variable(var).lower, base.variable(var).upper);
+        sess->model().max_violation(lp.x) > 1e-5) {
+      debug_integral_violation(sess->model(), opts, lp);
     }
   }
 
   // ---- Publish the outcome.
-  std::unique_lock<std::mutex> lk(sh.mu);
-  sh.lp_iterations += lp.iterations;
-  if (!sh.root_solved && lp.status == LpStatus::Optimal) {
-    sh.root_bound = lp.objective;
-    sh.root_solved = true;
-    sh.root_basis = lp.basis;
-  }
-  switch (lp.status) {
-    case LpStatus::Infeasible:
-      break;  // dead branch
-    case LpStatus::Unbounded:
-      // Unbounded relaxation: treat conservatively, abandon the search.
-      sh.unbounded = true;
-      sh.done = true;
-      break;
-    case LpStatus::IterationLimit:
-      // The LP is unsolved — its x/duals are garbage and must not seed
-      // an incumbent or a branching decision. Drop the node but keep its
-      // parent bound so the result can never claim Optimal or a tighter
-      // bound than was actually proved.
-      sh.hit_limit = true;
-      sh.dropped_bound = std::min(sh.dropped_bound, node.parent_bound);
-      break;
-    case LpStatus::Optimal: {
-      if (lp.objective >= sh.incumbent - sh.absolute_gap()) break;
-      if (frac < 0) {
-        // Integer feasible.
-        if (lp.objective < sh.incumbent) {
-          sh.incumbent = lp.objective;
-          sh.best_x = lp.x;
-          round_integers(sh.int_vars, sh.best_x);
+  bool keep_going;
+  {
+    std::unique_lock<std::mutex> lk(sh.mu);
+    sh.lp_iterations += lp.iterations;
+    if (!sh.root_solved && lp.status == LpStatus::Optimal) {
+      sh.root_bound = lp.objective;
+      sh.root_solved = true;
+      sh.root_basis = lp.basis;
+    }
+    switch (lp.status) {
+      case LpStatus::Infeasible:
+        break;  // dead branch
+      case LpStatus::Unbounded:
+        // Unbounded relaxation: treat conservatively, abandon the search.
+        sh.unbounded = true;
+        sh.done = true;
+        break;
+      case LpStatus::IterationLimit:
+      case LpStatus::InvalidBasis:
+        // The LP is unsolved — its x/duals are garbage and must not seed
+        // an incumbent or a branching decision. Drop the node but keep its
+        // parent bound so the result can never claim Optimal or a tighter
+        // bound than was actually proved. (InvalidBasis is unreachable
+        // after the cold retry above; handled identically for safety.)
+        sh.hit_limit = true;
+        sh.dropped_bound = std::min(sh.dropped_bound, node.parent_bound);
+        break;
+      case LpStatus::Optimal: {
+        if (lp.objective >= sh.incumbent - sh.absolute_gap()) break;
+        if (frac < 0) {
+          // Integer feasible.
+          if (lp.objective < sh.incumbent) {
+            sh.incumbent = lp.objective;
+            sh.best_x = lp.x;
+            round_integers(sh.int_vars, sh.best_x);
+          }
+          break;
+        }
+        // Branch. The preferred ("nearest") side is pushed last so the
+        // heap tie-break explores it first. Both children share the
+        // parent's basis through one refcounted handle.
+        const double v = lp.x[static_cast<size_t>(frac)];
+        node.warm.reset();  // superseded by child_basis
+        Node down = node, up = node;
+        down.fixes.emplace_back(frac, base.variable(frac).lower, std::floor(v));
+        up.fixes.emplace_back(frac, std::ceil(v), base.variable(frac).upper);
+        down.parent_bound = up.parent_bound = lp.objective;
+        down.depth = up.depth = node.depth + 1;
+        down.warm = child_basis;
+        up.warm = child_basis;
+        if (v - std::floor(v) <= 0.5) {
+          sh.push_open(std::move(up));
+          sh.push_open(std::move(down));
+        } else {
+          sh.push_open(std::move(down));
+          sh.push_open(std::move(up));
         }
         break;
       }
-      // Branch. The preferred ("nearest") side is pushed last so the
-      // heap tie-break explores it first.
-      const double v = lp.x[static_cast<size_t>(frac)];
-      node.warm = Basis{};  // superseded by lp.basis; don't copy it twice
-      Node down = node, up = node;
-      down.fixes.emplace_back(frac, base.variable(frac).lower, std::floor(v));
-      up.fixes.emplace_back(frac, std::ceil(v), base.variable(frac).upper);
-      down.parent_bound = up.parent_bound = lp.objective;
-      down.depth = up.depth = node.depth + 1;
-      down.warm = lp.basis;
-      up.warm = lp.basis;
-      if (v - std::floor(v) <= 0.5) {
-        sh.push_open(std::move(up));
-        sh.push_open(std::move(down));
-      } else {
-        sh.push_open(std::move(down));
-        sh.push_open(std::move(up));
-      }
-      break;
     }
+    --sh.in_flight;
+    sh.cv.notify_all();
+    keep_going = !sh.done;
   }
-  --sh.in_flight;
-  sh.cv.notify_all();
-  return !sh.done;
+  // Close the node's delta frame: bounds return to the root box and the
+  // lane session is ready for the next (possibly unrelated) node.
+  if (!opts.copy_node_models && sess.has_value()) sess->pop();
+  return keep_going;
 }
 
 /// One branch-and-bound lane: pop best-first nodes, evaluate their LP on a
-/// lane-private working model, update the shared incumbent/bounds and push
-/// children. Runs on the calling thread and, in parallel mode, as a pool
-/// task per extra lane.
+/// lane-private LpSession (delta frames, no per-node model copy), update
+/// the shared incumbent/bounds and push children. Runs on the calling
+/// thread and, in parallel mode, as a pool task per extra lane.
 void bnb_lane(const std::shared_ptr<BnbShared>& sh) {
   const MilpOptions& opts = sh->opts;
-  // Lane-private working model, copied once; node bounds are applied as
-  // deltas before the LP solve and undone after, killing the old
-  // O(model)-copy-per-node cost.
-  LpModel work;
-  bool have_work = false;
+  std::optional<LpSession> sess;  // lane-private, created on first node
 
   for (;;) {
     Node node;
@@ -328,7 +361,7 @@ void bnb_lane(const std::shared_ptr<BnbShared>& sh) {
     // std::terminate.
     bool keep_going;
     try {
-      keep_going = evaluate_node(*sh, node, work, have_work);
+      keep_going = evaluate_node(*sh, node, sess);
     } catch (...) {
       std::lock_guard<std::mutex> lk(sh->mu);
       if (sh->error == nullptr) sh->error = std::current_exception();
@@ -343,8 +376,10 @@ void bnb_lane(const std::shared_ptr<BnbShared>& sh) {
 
 class BranchAndBound {
  public:
-  BranchAndBound(const LpModel& model, const MilpOptions& opts)
-      : base_(model), opts_(opts), int_vars_(model.integer_vars()) {}
+  BranchAndBound(const LpModel& model, const MilpOptions& opts,
+                 LpSession* session = nullptr)
+      : base_(model), opts_(opts), int_vars_(model.integer_vars()),
+        session_(session) {}
 
   MilpResult run() {
     MilpResult res;
@@ -354,12 +389,44 @@ class BranchAndBound {
     sh->opts = opts_;
     sh->int_vars = int_vars_;
     sh->t0 = t0;
+    if (opts_.warm_start != nullptr && !opts_.warm_start->empty()) {
+      sh->root_warm = std::make_shared<const Basis>(*opts_.warm_start);
+    }
+
+    if (session_ != nullptr) {
+      // Stateful root re-solve on the caller's session: after a Benders
+      // cut append the incumbent basis is dual-feasible, so this is the
+      // dual-simplex path; the resulting basis stays live in the session
+      // for the next call and seeds the dive and the root node here. The
+      // root node's lane re-verifies from that basis (one refactorization
+      // + a zero-pivot pricing pass) — accepted so branching/incumbent
+      // logic stays in one place, the lanes.
+      const LpResult& root = session_->solve();
+      sh->lp_iterations += root.iterations;
+      res.root_used_dual = root.used_dual_simplex;
+      if (root.status == LpStatus::Optimal) {
+        sh->root_solved = true;
+        sh->root_bound = root.objective;
+        sh->root_basis = root.basis;
+        sh->root_warm = session_->basis();
+      } else if (root.status == LpStatus::Infeasible) {
+        res.status = MilpStatus::Infeasible;
+        res.lp_iterations = static_cast<int>(sh->lp_iterations);
+        return res;
+      } else if (root.status == LpStatus::Unbounded) {
+        res.status = MilpStatus::NoSolution;
+        res.best_bound = -kInf;
+        res.lp_iterations = static_cast<int>(sh->lp_iterations);
+        return res;
+      }
+      // IterationLimit: fall through — the tree re-derives what it can.
+    }
 
     bool dive_hit_limit = false;
     if (opts_.dive_heuristic) dive(*sh, dive_hit_limit);
 
     Node root;
-    if (opts_.warm_start != nullptr) root.warm = *opts_.warm_start;
+    root.warm = sh->root_warm;
     {
       std::lock_guard<std::mutex> lk(sh->mu);
       sh->push_open(std::move(root));
@@ -387,6 +454,7 @@ class BranchAndBound {
     res.nodes = sh->nodes;
     res.lp_iterations = static_cast<int>(sh->lp_iterations);
     res.root_basis = sh->root_basis;
+    res.peak_open_nodes = sh->peak_open;
     const bool hit_limit = sh->hit_limit || dive_hit_limit;
     if (sh->unbounded) {
       res.status = MilpStatus::NoSolution;
@@ -416,14 +484,15 @@ class BranchAndBound {
 
  private:
   /// LP-guided rounding dive: repeatedly pin the most fractional integer
-  /// variable to its nearest integer and re-solve. Either reaches an
-  /// integral feasible point (the initial incumbent) or dead-ends. Runs
-  /// serially before the lanes start; every dive LP counts as a node and
-  /// the node/time limits abort it like any other part of the search.
+  /// variable to its nearest integer and re-solve on a throwaway session
+  /// (each re-solve is a bound-fix delta, i.e. the dual-simplex case).
+  /// Either reaches an integral feasible point (the initial incumbent) or
+  /// dead-ends. Runs serially before the lanes start; every dive LP counts
+  /// as a node and the node/time limits abort it like any other part of
+  /// the search.
   void dive(BnbShared& sh, bool& dive_hit_limit) const {
-    LpModel work = base_;
-    Basis warm;
-    if (opts_.warm_start != nullptr) warm = *opts_.warm_start;
+    LpSession sess(base_, opts_.lp);
+    sess.set_warm_basis(sh.root_warm);
     for (std::size_t step = 0; step <= int_vars_.size(); ++step) {
       if (sh.nodes >= opts_.max_nodes ||
           elapsed_sec(sh.t0) > opts_.time_limit_sec) {
@@ -431,38 +500,48 @@ class BranchAndBound {
         return;
       }
       ++sh.nodes;
-      const LpResult lp = solve_lp(work, opts_.lp, warm.empty() ? nullptr : &warm);
-      sh.lp_iterations += lp.iterations;
-      if (lp.status != LpStatus::Optimal) return;  // dead end
-      const int frac = pick_branch_var(base_, int_vars_, opts_.int_tol, lp.x);
+      const LpResult* lp = &sess.solve();
+      if (lp->status == LpStatus::InvalidBasis) {
+        // Stale MilpOptions::warm_start seed: drop it and go cold instead
+        // of silently skipping the dive (pre-session fallback behaviour).
+        sess.clear_basis();
+        lp = &sess.solve();
+      }
+      sh.lp_iterations += lp->iterations;
+      if (lp->status != LpStatus::Optimal) return;  // dead end
+      const int frac = pick_branch_var(base_, int_vars_, opts_.int_tol, lp->x);
       if (frac < 0) {
         if (std::getenv("OVNES_MILP_DEBUG") != nullptr &&
-            work.max_violation(lp.x) > 1e-5) {
+            sess.model().max_violation(lp->x) > 1e-5) {
           std::fprintf(stderr, "MILP DEBUG dive: violates by %g (obj %g)\n",
-                       work.max_violation(lp.x), lp.objective);
+                       sess.model().max_violation(lp->x), lp->objective);
         }
-        if (lp.objective < sh.incumbent) {
-          sh.incumbent = lp.objective;
-          sh.best_x = lp.x;
+        if (lp->objective < sh.incumbent) {
+          sh.incumbent = lp->objective;
+          sh.best_x = lp->x;
           round_integers(int_vars_, sh.best_x);
         }
         return;
       }
-      const double v = std::round(lp.x[static_cast<size_t>(frac)]);
-      work.set_bounds(frac, v, v);
-      warm = lp.basis;
+      const double v = std::round(lp->x[static_cast<size_t>(frac)]);
+      sess.set_bounds(frac, v, v);
     }
   }
 
   const LpModel& base_;
   MilpOptions opts_;
   std::vector<int> int_vars_;
+  LpSession* session_ = nullptr;  ///< not owned; see solve_milp(LpSession&)
 };
 
 }  // namespace
 
 MilpResult solve_milp(const LpModel& model, const MilpOptions& opts) {
   return BranchAndBound(model, opts).run();
+}
+
+MilpResult solve_milp(LpSession& session, const MilpOptions& opts) {
+  return BranchAndBound(session.model(), opts, &session).run();
 }
 
 }  // namespace ovnes::solver

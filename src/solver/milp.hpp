@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "solver/lp_model.hpp"
+#include "solver/lp_session.hpp"
 #include "solver/simplex.hpp"
 
 namespace ovnes::exec {
@@ -52,8 +53,18 @@ struct MilpResult {
   int lp_iterations = 0;
   /// Basis of the root LP relaxation (empty if the root never solved to
   /// optimality). Feed it back via MilpOptions::warm_start when re-solving
-  /// the same model with appended rows — the Benders master loop does.
+  /// the same model with appended rows; callers on the
+  /// solve_milp(LpSession&) overload get this for free — the session keeps
+  /// the root basis live between solves.
   Basis root_basis;
+  /// True when the root LP of a session-backed solve restored feasibility
+  /// with dual simplex (the post-cut re-solve path).
+  bool root_used_dual = false;
+  /// High-water mark of the open-node pool: with refcounted parent-basis
+  /// handles each queued node costs O(fixes) + one shared_ptr, so this
+  /// bounds the search's memory footprint (see BM_MilpBnbThroughput's
+  /// peak_rss counter).
+  long peak_open_nodes = 0;
   /// (objective - best_bound) / max(1, |objective|); 0 when proved optimal.
   [[nodiscard]] double gap() const;
 };
@@ -90,6 +101,15 @@ struct MilpOptions {
 };
 
 [[nodiscard]] MilpResult solve_milp(const LpModel& model,
+                                    const MilpOptions& opts = {});
+
+/// Stateful overload for cut loops (the Benders master): the session owns
+/// the model — append cuts through it between calls — and its live basis
+/// warm-starts the root LP, which re-solves with dual simplex when the
+/// appended cuts left the incumbent basis dual-feasible. The root basis is
+/// left in the session afterwards, so the next call warm-starts without
+/// any MilpOptions::warm_start plumbing (that field is ignored here).
+[[nodiscard]] MilpResult solve_milp(LpSession& session,
                                     const MilpOptions& opts = {});
 
 }  // namespace ovnes::solver

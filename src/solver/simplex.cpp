@@ -18,6 +18,7 @@ const char* to_string(LpStatus s) {
     case LpStatus::Infeasible: return "infeasible";
     case LpStatus::Unbounded: return "unbounded";
     case LpStatus::IterationLimit: return "iteration_limit";
+    case LpStatus::InvalidBasis: return "invalid_basis";
   }
   return "unknown";
 }
@@ -39,14 +40,57 @@ class Simplex {
 
   LpResult run() {
     LpResult res;
+    // A warm basis snapshot referencing rows or variables beyond the
+    // model's current dimensions is a stale handle (the model was
+    // truncated since the snapshot): report it instead of silently
+    // repairing from garbage statuses.
+    if (warm_ != nullptr && !warm_->empty() &&
+        (warm_->num_rows > m_ || warm_->num_vars > n_)) {
+      res.status = LpStatus::InvalidBasis;
+      return res;
+    }
     if (m_ == 0) return solve_unconstrained();
 
     // ---- Warm start: adopt the supplied basis when it factorizes and any
     // primal infeasibility (appended cut rows, branched bounds) is small
-    // enough to repair with targeted artificials.
+    // enough to repair. With allow_dual the dual simplex restores
+    // feasibility first (the cut case: dual-feasible, primal-infeasible);
+    // otherwise — or when the dual path declines — targeted artificials
+    // plus a short Phase 1 do.
     int warm_swaps = -1;
+    bool dual_done = false;
+    bool kernel_broken = false;
     if (warm_ != nullptr && !warm_->empty() && try_warm_basis(*warm_)) {
-      warm_swaps = repair_infeasible_basics();
+      if (opts_.allow_dual) {
+        const int before = res.iterations;
+        switch (dual_restore(res.iterations)) {
+          case DualOutcome::Restored:
+            dual_done = true;
+            warm_swaps = 0;
+            res.used_dual_simplex = res.iterations > before;
+            break;
+          case DualOutcome::NotDualFeasible:
+            // Untouched basis (only duals were priced); hand it to the
+            // artificial-repair path with the artificials' bounds restored.
+            unfreeze_artificials();
+            break;
+          case DualOutcome::Abandoned:
+            // The dual loop may have stopped because a refactorization
+            // failed, leaving the kernel unusable; re-factorize from the
+            // (still valid, possibly dual-advanced) basis before the
+            // repair path touches it, and cold-start when even that fails.
+            unfreeze_artificials();
+            if (factorize_current_basis()) {
+              refresh_basics();
+            } else {
+              kernel_broken = true;
+            }
+            break;
+        }
+      }
+      if (!dual_done && !kernel_broken) {
+        warm_swaps = repair_infeasible_basics();
+      }
     }
     const bool warm_ok = warm_swaps >= 0;
     if (!warm_ok) install_artificial_basis();
@@ -216,6 +260,7 @@ class Simplex {
 
     y_.resize(static_cast<size_t>(m_));
     w_.resize(static_cast<size_t>(m_));
+    rho_.resize(static_cast<size_t>(m_));
   }
 
   /// Cold start: all-artificial basis. Also the fallback after a rejected
@@ -420,6 +465,174 @@ class Simplex {
       lb_[static_cast<size_t>(aj)] = 0.0;
       ub_[static_cast<size_t>(aj)] = 0.0;
     }
+  }
+
+  /// Undo freeze_nonbasic_artificials() before falling back from the dual
+  /// path to artificial repair, which expects nonbasic artificials to keep
+  /// their full [0, inf) range so they can be pivoted back in.
+  void unfreeze_artificials() {
+    for (int i = 0; i < m_; ++i) {
+      const int aj = n_ + m_ + i;
+      if (status_[static_cast<size_t>(aj)] == VarStatus::Basic) continue;
+      lb_[static_cast<size_t>(aj)] = 0.0;
+      ub_[static_cast<size_t>(aj)] = kInf;
+    }
+  }
+
+  enum class DualOutcome { Restored, NotDualFeasible, Abandoned };
+
+  /// Restore primal feasibility of the adopted warm basis with dual
+  /// simplex pivots: pick the most-violated basic variable to leave toward
+  /// its violated bound, price pivot row r of B^{-1}N (one BTRAN of e_r
+  /// plus sparse dots), and enter the column whose reduced cost reaches
+  /// zero first (bounded-variable dual ratio test) so every reduced cost
+  /// stays on its feasible side. Applicable only when the basis is
+  /// dual-feasible under the phase-2 costs — exactly the state a Benders
+  /// cut append or a branched bound leaves behind; each pivot then makes
+  /// progress on the true objective instead of an artificial surrogate.
+  ///
+  /// Returns Restored once every basic value is inside its bounds (the
+  /// subsequent primal Phase 2 certifies optimality, normally in zero
+  /// pivots), NotDualFeasible when the precondition fails, or Abandoned on
+  /// numerical trouble / iteration exhaustion / a primal-infeasibility
+  /// signature — callers fall back to the artificial-repair path, which
+  /// also produces the Farkas certificate on genuine infeasibility.
+  ///
+  /// noinline: keeps this body out of run()'s inlining budget — absorbing
+  /// it there measurably deoptimizes the warm-resolve glue that IS inlined
+  /// into run() (~35% on BM_RefactorizeResolveLu at m = 300).
+#if defined(__GNUC__)
+  __attribute__((noinline))
+#endif
+  DualOutcome dual_restore(int& iter_count) {
+    set_phase2_costs();
+    freeze_nonbasic_artificials();
+
+    // Dual-feasibility precondition over the nonbasic columns.
+    compute_duals();
+    for (int j = 0; j < n_ + m_; ++j) {
+      if (status_[static_cast<size_t>(j)] == VarStatus::Basic) continue;
+      if (lower(j) == upper(j)) continue;  // fixed: any sign is dual-ok
+      const double d = cost_[static_cast<size_t>(j)] - dot_column(j, y_);
+      if (status_[static_cast<size_t>(j)] == VarStatus::AtLower
+              ? d < -opts_.opt_tol
+              : d > opts_.opt_tol) {
+        return DualOutcome::NotDualFeasible;
+      }
+    }
+
+    int degenerate_streak = 0;
+    bool bland = false;
+    for (int iter = 0; iter < opts_.max_iterations; ++iter) {
+      // --- Leaving row: worst bound violation among the basics.
+      int r = -1;
+      double worst = opts_.feas_tol;
+      bool below = false;
+      for (int i = 0; i < m_; ++i) {
+        const int bv = basis_[static_cast<size_t>(i)];
+        const double lo_v = lower(bv) - xb_[static_cast<size_t>(i)];
+        const double hi_v = xb_[static_cast<size_t>(i)] - upper(bv);
+        if (lo_v > worst) { worst = lo_v; r = i; below = true; }
+        if (hi_v > worst) { worst = hi_v; r = i; below = false; }
+      }
+      if (r < 0) return DualOutcome::Restored;  // primal feasible
+      ++iter_count;
+
+      const int leaving = basis_[static_cast<size_t>(r)];
+      const double target = below ? lower(leaving) : upper(leaving);
+
+      // --- Pivot row r of B^{-1}N and current duals.
+      std::fill(rho_.begin(), rho_.end(), 0.0);
+      rho_[static_cast<size_t>(r)] = 1.0;
+      kernel_->btran(rho_);
+      compute_duals();
+
+      // --- Dual ratio test. Eligible columns move x_B[r] toward the
+      // violated bound when stepped in their own feasible direction;
+      // among them the minimal |d_j|/|alpha_j| keeps dual feasibility.
+      // Ties break toward the largest pivot magnitude (stability);
+      // under Bland (degeneracy) the smallest index wins instead.
+      int q = -1;
+      double best_ratio = kInf;
+      double best_mag = 0.0;
+      for (int j = 0; j < n_ + m_; ++j) {
+        if (status_[static_cast<size_t>(j)] == VarStatus::Basic) continue;
+        if (lower(j) == upper(j)) continue;
+        const double alpha = dot_column(j, rho_);
+        if (std::abs(alpha) <= opts_.pivot_tol) continue;
+        const double dir =
+            status_[static_cast<size_t>(j)] == VarStatus::AtLower ? 1.0 : -1.0;
+        // x_B[r] changes by -alpha*dir*t with t >= 0: require an increase
+        // when below the lower bound, a decrease when above the upper.
+        const double eff = alpha * dir;
+        if (below ? eff >= -opts_.pivot_tol : eff <= opts_.pivot_tol) continue;
+        if (bland) { q = j; break; }  // first (smallest) eligible index
+        const double d = cost_[static_cast<size_t>(j)] - dot_column(j, y_);
+        const double ratio =
+            std::max(0.0, dir > 0.0 ? d : -d) / std::abs(alpha);
+        if (ratio < best_ratio - 1e-12 ||
+            (ratio < best_ratio + 1e-12 && std::abs(alpha) > best_mag)) {
+          best_ratio = ratio;
+          best_mag = std::abs(alpha);
+          q = j;
+        }
+      }
+      if (q < 0) return DualOutcome::Abandoned;  // primal infeasible or
+                                                 // numerically stuck
+
+      // --- FTRAN the entering column and pivot at row r.
+      load_column(q, w_);
+      kernel_->ftran(w_);
+      const double piv = w_[static_cast<size_t>(r)];
+      if (std::abs(piv) <= opts_.pivot_tol) {
+        // The rho-based pricing and the FTRAN disagree on the pivot:
+        // factorization drift. Refactorize and retry the row.
+        if (!factorize_current_basis()) return DualOutcome::Abandoned;
+        refresh_basics();
+        continue;
+      }
+      const double dirq =
+          status_[static_cast<size_t>(q)] == VarStatus::AtLower ? 1.0 : -1.0;
+      double t = (xb_[static_cast<size_t>(r)] - target) / (piv * dirq);
+      if (!(t > 0.0)) t = 0.0;  // degenerate step (roundoff guard)
+
+      if (t <= opts_.feas_tol) {
+        if (++degenerate_streak > 2 * (m_ + 1)) bland = true;
+      } else {
+        degenerate_streak = 0;
+        bland = false;
+      }
+
+      for (int i = 0; i < m_; ++i) {
+        xb_[static_cast<size_t>(i)] -= dirq * t * w_[static_cast<size_t>(i)];
+      }
+      const double xq_new = nonbasic_value(q) + dirq * t;
+      status_[static_cast<size_t>(leaving)] =
+          below ? VarStatus::AtLower : VarStatus::AtUpper;
+      basis_[static_cast<size_t>(r)] = q;
+      status_[static_cast<size_t>(q)] = VarStatus::Basic;
+      xb_[static_cast<size_t>(r)] = xq_new;
+      if (!kernel_->update(w_, r)) {
+        if (!factorize_current_basis()) return DualOutcome::Abandoned;
+        refresh_basics();
+      }
+
+      if ((iter + 1) % opts_.refresh_interval == 0) {
+        // Same periodic drift control as the primal loop.
+        std::vector<double> saved = xb_;
+        refresh_basics();
+        double drift = 0.0;
+        for (int i = 0; i < m_; ++i) {
+          drift = std::max(drift, std::abs(saved[static_cast<size_t>(i)] -
+                                           xb_[static_cast<size_t>(i)]));
+        }
+        if (drift > 1e-7 * (1.0 + bnorm_)) {
+          if (!factorize_current_basis()) return DualOutcome::Abandoned;
+          refresh_basics();
+        }
+      }
+    }
+    return DualOutcome::Abandoned;
   }
 
   void set_phase1_costs() {
@@ -762,26 +975,21 @@ class Simplex {
   std::unique_ptr<BasisKernel> kernel_;  ///< LU/eta (default) or dense B^{-1}
   std::vector<std::vector<double>> colsbuf_;  ///< factorize_columns scratch
   std::vector<double> y_, w_;
+  std::vector<double> rho_;  ///< dual pivot row buffer (B^{-T} e_r)
 };
 
 }  // namespace
 
-LpResult solve_lp(const LpModel& model, const SimplexOptions& opts) {
-  return Simplex(model, opts).run();
+namespace detail {
+
+LpResult simplex_solve(const LpModel& model, const SimplexOptions& opts,
+                       const Basis* warm) {
+  return Simplex(model, opts, warm).run();
 }
 
-LpResult solve_lp(const LpModel& model, const SimplexOptions& opts,
-                  const Basis* warm) {
-  LpResult res = Simplex(model, opts, warm).run();
-  if (res.status == LpStatus::IterationLimit && res.used_warm_start) {
-    // Warm starting is a pivot-count optimization and must never degrade
-    // the outcome: a numerically poor warm basis that stalls the solve is
-    // retried cold before reporting failure.
-    const int warm_iters = res.iterations;
-    res = Simplex(model, opts).run();
-    res.iterations += warm_iters;
-  }
-  return res;
-}
+}  // namespace detail
+
+// The public solve_lp entry points are thin compatibility wrappers over a
+// throwaway LpSession; see solver/lp_session.cpp.
 
 }  // namespace ovnes::solver

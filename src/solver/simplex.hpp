@@ -23,7 +23,17 @@
 
 namespace ovnes::solver {
 
-enum class LpStatus { Optimal, Infeasible, Unbounded, IterationLimit };
+enum class LpStatus {
+  Optimal,
+  Infeasible,
+  Unbounded,
+  IterationLimit,
+  /// The supplied warm basis references rows or variables beyond the
+  /// model's current dimensions (a stale snapshot, e.g. taken on a model
+  /// that has since been truncated). A caller-contract error: reported
+  /// explicitly instead of silently repairing or asserting.
+  InvalidBasis,
+};
 
 [[nodiscard]] const char* to_string(LpStatus s);
 
@@ -62,6 +72,9 @@ struct LpResult {
   /// True when a supplied warm basis was accepted (possibly after repair)
   /// instead of the artificial cold start.
   bool used_warm_start = false;
+  /// True when primal feasibility was restored by the dual simplex
+  /// (SimplexOptions::allow_dual) instead of the artificial-repair Phase 1.
+  bool used_dual_simplex = false;
 };
 
 struct SimplexOptions {
@@ -76,10 +89,22 @@ struct SimplexOptions {
   /// kernel. O(m^2) per pivot and O(m^3) per factorization — retained only
   /// as a cross-check reference for tests and benchmarks.
   bool dense_basis_inverse = false;
+  /// When a warm basis is adopted but primal-infeasible (a violated cut
+  /// row, a branched bound) AND still dual-feasible, restore feasibility
+  /// with dual simplex pivots instead of the artificial-repair Phase 1.
+  /// Each dual pivot makes progress on the true objective, so cut
+  /// re-solves converge in far fewer iterations. Off by default for the
+  /// plain solve_lp entry points (PR 3 behaviour); LpSession turns it on.
+  bool allow_dual = false;
 };
 
 /// Solve `model` (ignoring integrality markers). Thread-compatible: no
 /// shared state; safe to call from multiple threads on distinct models.
+///
+/// Compatibility wrapper: implemented on a throwaway solver::LpSession
+/// (solver/lp_session.hpp). Callers that re-solve after model deltas —
+/// appended cuts, branched bounds — should hold a session instead: it
+/// keeps the basis live across calls and dispatches dual simplex.
 [[nodiscard]] LpResult solve_lp(const LpModel& model,
                                 const SimplexOptions& opts = {});
 
@@ -88,10 +113,24 @@ struct SimplexOptions {
 /// tightened bounds). When the basis factorizes and is primal-feasible the
 /// solve goes straight to Phase 2; small infeasibilities (a violated cut
 /// row, a branched variable pushed off its value) are repaired with
-/// targeted artificials and a short Phase 1. Falls back to a cold start
-/// when `warm` is null, empty, dimensionally incompatible, or singular.
+/// targeted artificials and a short Phase 1 (or, with
+/// SimplexOptions::allow_dual, by dual simplex pivots). Falls back to a
+/// cold start when `warm` is null, empty, lacks rows/vars the model has
+/// since grown, or is singular; returns LpStatus::InvalidBasis when `warm`
+/// references rows or variables beyond the model's current dimensions.
 [[nodiscard]] LpResult solve_lp(const LpModel& model,
                                 const SimplexOptions& opts,
                                 const Basis* warm);
+
+namespace detail {
+
+/// Single-shot engine entry: one simplex run, no warm-failure cold retry.
+/// LpSession (and through it the solve_lp wrappers) layer retry/dispatch
+/// policy on top of this.
+[[nodiscard]] LpResult simplex_solve(const LpModel& model,
+                                     const SimplexOptions& opts,
+                                     const Basis* warm);
+
+}  // namespace detail
 
 }  // namespace ovnes::solver

@@ -1,0 +1,311 @@
+// LpSession: stateful incremental re-solves (ISSUE 4).
+//  * dual simplex after a violated cut: the incumbent basis stays
+//    dual-feasible, feasibility is restored without Phase 1, and the
+//    session reaches the cold-solve objective within 1e-9;
+//  * session-vs-solve_lp equivalence battery over the m ∈ {50, 200, 500}
+//    LU test instances (same generator family as basis_lu_test);
+//  * push()/pop() delta frames restore rows, bounds, costs and the
+//    incumbent basis handle exactly;
+//  * two sessions on distinct models are race-free (TSan job coverage);
+//  * a stale warm basis referencing rows beyond the model's current row
+//    count reports LpStatus::InvalidBasis instead of silently repairing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "solver/lp_session.hpp"
+#include "solver/simplex.hpp"
+
+namespace ovnes::solver {
+namespace {
+
+LpModel battery_lp(int vars, int rows, std::uint64_t seed) {
+  RngStream rng(seed);
+  LpModel m;
+  for (int j = 0; j < vars; ++j) {
+    m.add_variable("x" + std::to_string(j), 0.0, rng.uniform(1.0, 10.0),
+                   rng.uniform(-5.0, 5.0));
+  }
+  for (int i = 0; i < rows; ++i) {
+    std::vector<Coef> coefs;
+    for (int j = 0; j < vars; ++j) {
+      if (rng.flip(0.3)) coefs.push_back({j, rng.uniform(0.0, 3.0)});
+    }
+    m.add_row("r" + std::to_string(i), RowSense::LessEq,
+              rng.uniform(5.0, 50.0), std::move(coefs));
+  }
+  return m;
+}
+
+/// The textbook LP used across solver_test's warm-start suite: optimum at
+/// (2, 6) with objective -36.
+LpModel textbook_lp() {
+  LpModel m;
+  const int x = m.add_variable("x", 0, kInf, -3.0);
+  const int y = m.add_variable("y", 0, kInf, -5.0);
+  m.add_row("r1", RowSense::LessEq, 4.0, {{x, 1.0}});
+  m.add_row("r2", RowSense::LessEq, 12.0, {{y, 2.0}});
+  m.add_row("r3", RowSense::LessEq, 18.0, {{x, 3.0}, {y, 2.0}});
+  return m;
+}
+
+TEST(LpSessionDual, ViolatedCutResolvesViaDualSimplex) {
+  LpSession sess(textbook_lp());
+  const LpResult& base = sess.solve();
+  ASSERT_EQ(base.status, LpStatus::Optimal);
+  EXPECT_NEAR(base.x[0], 2.0, 1e-8);
+  EXPECT_NEAR(base.x[1], 6.0, 1e-8);
+
+  // Cut violated at (2, 6): 2 + 6 > 6. The incumbent basis is primal-
+  // infeasible in exactly the new row but still dual-feasible, so the
+  // re-solve must take the dual path — no artificials, no Phase 1.
+  sess.add_cut("cut", RowSense::LessEq, 6.0, {{0, 1.0}, {1, 1.0}});
+  const LpResult& warm = sess.solve();
+  ASSERT_EQ(warm.status, LpStatus::Optimal);
+  EXPECT_TRUE(warm.used_warm_start);
+  EXPECT_TRUE(warm.used_dual_simplex);
+
+  const LpResult cold = solve_lp(sess.model());
+  ASSERT_EQ(cold.status, LpStatus::Optimal);
+  EXPECT_NEAR(warm.objective, cold.objective,
+              1e-9 * std::max(1.0, std::abs(cold.objective)));
+  EXPECT_LT(sess.model().max_violation(warm.x), 1e-7);
+  EXPECT_LT(warm.iterations, cold.iterations);
+
+  // Post-cut optimum is dual-feasible: every reduced cost sits on the
+  // feasible side of its variable's active bound (min problem).
+  for (int j = 0; j < sess.model().num_vars(); ++j) {
+    const Variable& v = sess.model().variable(j);
+    const double d = warm.reduced_costs[static_cast<size_t>(j)];
+    if (std::abs(warm.x[static_cast<size_t>(j)] - v.lower) < 1e-7) {
+      EXPECT_GE(d, -1e-6) << "var " << j;
+    } else if (std::abs(warm.x[static_cast<size_t>(j)] - v.upper) < 1e-7) {
+      EXPECT_LE(d, 1e-6) << "var " << j;
+    }
+  }
+
+  EXPECT_EQ(sess.stats().solves, 2);
+  EXPECT_EQ(sess.stats().dual_solves, 1);
+}
+
+TEST(LpSessionDual, BranchedBoundResolvesViaDualSimplex) {
+  // B&B shape: fixing a basic variable past its LP value keeps the basis
+  // dual-feasible; the session re-solve takes the dual path as well.
+  LpModel m;
+  m.add_variable("x", 0.0, 1.0, -6.0);
+  m.add_variable("y", 0.0, 1.0, -5.0);
+  m.add_variable("z", 0.0, 1.0, -4.0);
+  m.add_row("cap", RowSense::LessEq, 4.0, {{0, 3.0}, {1, 2.0}, {2, 2.0}});
+
+  LpSession sess(m);
+  ASSERT_EQ(sess.solve().status, LpStatus::Optimal);
+  for (const auto& [lo, hi] : {std::pair{0.0, 0.0}, std::pair{1.0, 1.0}}) {
+    sess.push();
+    sess.set_bounds(0, lo, hi);
+    const LpResult& warm = sess.solve();
+    LpModel child = m;
+    child.set_bounds(0, lo, hi);
+    const LpResult cold = solve_lp(child);
+    ASSERT_EQ(warm.status, cold.status);
+    if (cold.status == LpStatus::Optimal) {
+      EXPECT_TRUE(warm.used_warm_start);
+      EXPECT_NEAR(warm.objective, cold.objective, 1e-9);
+      EXPECT_LT(child.max_violation(warm.x), 1e-7);
+    }
+    sess.pop();
+  }
+  EXPECT_GE(sess.stats().dual_solves, 1);
+}
+
+// ---------------------------------------------------------------------
+// Session-vs-solve_lp equivalence battery on the LU test instances.
+
+struct BatteryCase {
+  int m;
+  std::uint64_t seed;
+};
+
+class SessionVsSolveLpBattery : public ::testing::TestWithParam<BatteryCase> {};
+
+TEST_P(SessionVsSolveLpBattery, CutLoopMatchesStatelessSolves) {
+  const auto [m, seed] = GetParam();
+  // The m = 500 instance spends ~20 s in the stateless reference solves;
+  // under OVNES_FAST (CI, the TSan job) the smaller sizes carry the
+  // equivalence check and the big one runs in full local suites only.
+  if (m >= 500 && std::getenv("OVNES_FAST") != nullptr) {
+    GTEST_SKIP() << "OVNES_FAST: skipping m=" << m << " battery case";
+  }
+  LpModel model = battery_lp(m, m, seed);
+  LpSession sess(model);  // copy: `model` accumulates the same cuts
+
+  const LpResult& first = sess.solve();
+  const LpResult first_cold = solve_lp(model);
+  ASSERT_EQ(first.status, LpStatus::Optimal);
+  ASSERT_EQ(first_cold.status, LpStatus::Optimal);
+  double scale = std::max(1.0, std::abs(first_cold.objective));
+  EXPECT_LT(std::abs(first.objective - first_cold.objective) / scale, 1e-9);
+
+  RngStream rng(seed ^ 0x9e3779b97f4a7c15ull);
+  long dual_resolves = 0;
+  for (int k = 0; k < 3; ++k) {
+    std::vector<Coef> coefs;
+    double lhs = 0.0;
+    for (int j = 0; j < model.num_vars(); ++j) {
+      const double a = rng.uniform(0.1, 1.0);
+      coefs.push_back({j, a});
+      lhs += a * sess.last().x[static_cast<size_t>(j)];
+    }
+    const std::string name = "cut" + std::to_string(k);
+    model.add_row(name, RowSense::LessEq, 0.8 * lhs, coefs);
+    sess.add_cut(name, RowSense::LessEq, 0.8 * lhs, std::move(coefs));
+
+    const LpResult& warm = sess.solve();
+    const LpResult cold = solve_lp(model);
+    ASSERT_EQ(warm.status, LpStatus::Optimal) << "cut " << k;
+    ASSERT_EQ(cold.status, LpStatus::Optimal) << "cut " << k;
+    scale = std::max(1.0, std::abs(cold.objective));
+    EXPECT_LT(std::abs(warm.objective - cold.objective) / scale, 1e-9)
+        << "cut " << k;
+    EXPECT_LT(model.max_violation(warm.x), 1e-6);
+    if (warm.used_dual_simplex) ++dual_resolves;
+  }
+  // Each cut is violated at the previous optimum (0.8 × a positive lhs),
+  // so every re-solve should have taken the dual path.
+  EXPECT_GE(dual_resolves, 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, SessionVsSolveLpBattery,
+    ::testing::Values(BatteryCase{50, 101}, BatteryCase{50, 102},
+                      BatteryCase{50, 103}, BatteryCase{200, 201},
+                      BatteryCase{200, 202}, BatteryCase{500, 301}));
+
+// ---------------------------------------------------------------------
+// Delta frames.
+
+TEST(LpSessionFrames, PushPopRestoresRowsBoundsCostsAndBasis) {
+  LpSession sess(textbook_lp());
+  const LpResult& base = sess.solve();
+  ASSERT_EQ(base.status, LpStatus::Optimal);
+  const double base_obj = base.objective;
+  const int base_rows = sess.model().num_rows();
+  const SharedBasis base_basis = sess.basis();
+  ASSERT_NE(base_basis, nullptr);
+
+  sess.push();
+  sess.set_bounds(0, 0.0, 1.0);
+  sess.set_cost(1, -1.0);
+  sess.add_cut("frame_cut", RowSense::LessEq, 5.0, {{0, 1.0}, {1, 1.0}});
+  const LpResult& inner = sess.solve();
+  ASSERT_EQ(inner.status, LpStatus::Optimal);
+  EXPECT_NE(inner.objective, base_obj);
+  EXPECT_EQ(sess.model().num_rows(), base_rows + 1);
+
+  sess.pop();
+  EXPECT_EQ(sess.model().num_rows(), base_rows);
+  EXPECT_EQ(sess.model().variable(0).upper, kInf);
+  EXPECT_EQ(sess.model().variable(1).cost, -5.0);
+  // The pre-push basis handle is restored — the exact same snapshot, not a
+  // copy — and re-verifies the original optimum in zero pivots.
+  EXPECT_EQ(sess.basis(), base_basis);
+  const LpResult& restored = sess.solve();
+  ASSERT_EQ(restored.status, LpStatus::Optimal);
+  EXPECT_TRUE(restored.used_warm_start);
+  EXPECT_EQ(restored.iterations, 0);
+  EXPECT_NEAR(restored.objective, base_obj, 1e-12);
+}
+
+TEST(LpSessionFrames, NestedFramesUnwindInOrder) {
+  LpSession sess(textbook_lp());
+  ASSERT_EQ(sess.solve().status, LpStatus::Optimal);
+  const double base_obj = sess.last().objective;
+
+  sess.push();
+  sess.set_bounds(0, 1.0, 1.0);
+  sess.push();
+  sess.set_bounds(1, 2.0, 2.0);
+  ASSERT_EQ(sess.depth(), 2);
+  ASSERT_EQ(sess.solve().status, LpStatus::Optimal);
+  EXPECT_NEAR(sess.last().objective, -13.0, 1e-8);  // x=1, y=2
+  sess.pop();
+  ASSERT_EQ(sess.solve().status, LpStatus::Optimal);
+  EXPECT_NEAR(sess.last().objective, -33.0, 1e-8);  // x=1, y=6
+  sess.pop();
+  ASSERT_EQ(sess.solve().status, LpStatus::Optimal);
+  EXPECT_NEAR(sess.last().objective, base_obj, 1e-9);
+  EXPECT_EQ(sess.depth(), 0);
+  EXPECT_THROW(sess.pop(), std::logic_error);
+}
+
+// ---------------------------------------------------------------------
+// Thread compatibility: sessions are per-lane objects; two sessions on
+// distinct models must not race (exercised under TSan in CI).
+
+TEST(LpSessionThreads, TwoSessionsOnDistinctModelsAreRaceFree) {
+  const auto worker = [](std::uint64_t seed, double* out) {
+    LpSession sess(battery_lp(60, 60, seed));
+    RngStream rng(seed * 31 + 7);
+    const LpResult* r = &sess.solve();
+    for (int k = 0; k < 4 && r->status == LpStatus::Optimal; ++k) {
+      std::vector<Coef> coefs;
+      double lhs = 0.0;
+      for (int j = 0; j < sess.model().num_vars(); ++j) {
+        const double a = rng.uniform(0.1, 1.0);
+        coefs.push_back({j, a});
+        lhs += a * r->x[static_cast<size_t>(j)];
+      }
+      sess.add_cut("c" + std::to_string(k), RowSense::LessEq, 0.8 * lhs,
+                   std::move(coefs));
+      r = &sess.solve();
+    }
+    *out = r->status == LpStatus::Optimal ? r->objective : kInf;
+  };
+
+  double obj_a = 0.0, obj_b = 0.0, obj_a_serial = 0.0, obj_b_serial = 0.0;
+  std::thread ta(worker, 11, &obj_a);
+  std::thread tb(worker, 12, &obj_b);
+  ta.join();
+  tb.join();
+  worker(11, &obj_a_serial);
+  worker(12, &obj_b_serial);
+  EXPECT_DOUBLE_EQ(obj_a, obj_a_serial);
+  EXPECT_DOUBLE_EQ(obj_b, obj_b_serial);
+}
+
+// ---------------------------------------------------------------------
+// Stale-basis regression (ISSUE 4 small fix): a warm basis referencing
+// rows beyond the model's current row count must report InvalidBasis, not
+// silently repair or assert.
+
+TEST(LpSessionInvalidBasis, StaleRowReferencesReportInvalidBasis) {
+  LpModel grown = textbook_lp();
+  grown.add_row("extra", RowSense::LessEq, 30.0, {{0, 1.0}, {1, 2.0}});
+  const LpResult snapshot = solve_lp(grown);
+  ASSERT_EQ(snapshot.status, LpStatus::Optimal);
+  ASSERT_FALSE(snapshot.basis.empty());
+
+  // The same model with the last row dropped: the snapshot now references
+  // one row beyond the current count.
+  LpModel shrunk = grown;
+  shrunk.truncate_rows(grown.num_rows() - 1);
+  const LpResult stale = solve_lp(shrunk, {}, &snapshot.basis);
+  EXPECT_EQ(stale.status, LpStatus::InvalidBasis);
+  EXPECT_FALSE(stale.used_warm_start);
+  EXPECT_TRUE(stale.x.empty());
+
+  // Sessions recover: the stale seed reports once, then the incumbent is
+  // dropped and the next solve goes cold.
+  LpSession sess(shrunk);
+  sess.set_warm_basis(std::make_shared<const Basis>(snapshot.basis));
+  EXPECT_EQ(sess.solve().status, LpStatus::InvalidBasis);
+  EXPECT_EQ(sess.solve().status, LpStatus::Optimal);
+}
+
+}  // namespace
+}  // namespace ovnes::solver
