@@ -171,24 +171,40 @@ void BM_CutResolveWarmDense(benchmark::State& state) {
 }
 BENCHMARK(BM_CutResolveWarmDense)->Unit(benchmark::kMillisecond);
 
-// P4 (ISSUE 4 acceptance): cut re-solve algorithm comparison at m ∈
-// {200, 300, 500}. Same Benders-master shape as the kernel loop above —
-// solve, append a violated cut, re-solve, six times — under the three
+// P4/P5 (ISSUE 4 + ISSUE 5 acceptance): cut re-solve strategy comparison
+// at m ∈ {200, 300, 500}. Same Benders-master shape as the kernel loop
+// above — solve, append a violated cut, re-solve, six times — under four
 // re-solve strategies:
-//   * Dual    — stateful LpSession: cuts appended through add_cut, dual
-//               simplex restores feasibility (no Phase 1 at all);
+//   * KeptLu  — stateful LpSession with the live-factorization defaults
+//               (ISSUE 5): each cut is absorbed as a bordered update into
+//               the kept LU, dual steepest-edge pricing restores
+//               feasibility — refactorizations collapse toward 0;
+//   * Dual    — the PR 4 baseline this PR is measured against: the same
+//               session with keep_factors and dual_steepest_edge switched
+//               OFF (rebuild the LU from basis statuses every solve,
+//               most-violated-row dual pricing);
 //   * Primal  — warm solve_lp: artificial repair + short Phase 1 (the
 //               PR 2/3 path; equals BM_CutResolveWarmLu at m = 300);
 //   * Cold    — stateless re-solve from scratch.
-// Dual must beat Primal on `simplex_iters` and wall time at m >= 200;
+// KeptLu must beat Dual on `refactorizations` and wall time (>= 1.2x at
+// m = 300), Dual must beat Primal on `simplex_iters` and time at m >= 200;
 // `dual_resolves` counts the re-solves that actually took the dual path.
-enum class CutResolveMode { Dual, Primal, Cold };
+//
+// Timing covers the six cut re-solves only: the model build and the
+// initial cold solve run under PauseTiming, since no re-solve strategy
+// differs there and at m >= 200 the cold solve would otherwise swamp the
+// cut-round regime this family exists to measure. The `simplex_iters` /
+// `refactorizations` counters follow the same scope (re-solves only).
+enum class CutResolveMode { KeptLu, Dual, Primal, Cold };
 
 void cut_resolve_mode_loop(benchmark::State& state, CutResolveMode mode) {
   const int n = static_cast<int>(state.range(0));
   long iters = 0;
   long dual_resolves = 0;
+  long refactorizations = 0;
+  long kept_resolves = 0;
   for (auto _ : state) {
+    state.PauseTiming();
     LpModel m = random_lp(n, n, 11);
     RngStream rng(5);
     iters = 0;
@@ -203,10 +219,19 @@ void cut_resolve_mode_loop(benchmark::State& state, CutResolveMode mode) {
       }
       return std::pair{coefs, 0.8 * lhs};
     };
-    if (mode == CutResolveMode::Dual) {
-      LpSession sess(std::move(m));
+    if (mode == CutResolveMode::KeptLu || mode == CutResolveMode::Dual) {
+      SimplexOptions sopts;
+      if (mode == CutResolveMode::Dual) {
+        // Pin the PR 4 semantics so the Kept-vs-Dual comparison stays
+        // meaningful as the defaults move on (the session ctor still
+        // turns allow_dual on; that IS the PR 4 baseline).
+        sopts.dual_steepest_edge = false;
+        sopts.keep_factors = false;
+      }
+      LpSession sess(std::move(m), sopts);
       const LpResult* r = &sess.solve();
-      iters += r->iterations;
+      const long base_refacs = sess.stats().refactorizations;
+      state.ResumeTiming();
       for (int k = 0; k < 6 && r->status == LpStatus::Optimal; ++k) {
         auto [coefs, rhs] = make_cut(r->x);
         sess.add_cut("cut" + std::to_string(k), RowSense::LessEq, rhs,
@@ -215,11 +240,13 @@ void cut_resolve_mode_loop(benchmark::State& state, CutResolveMode mode) {
         iters += r->iterations;
         if (r->used_dual_simplex) ++dual_resolves;
       }
+      refactorizations = sess.stats().refactorizations - base_refacs;
+      kept_resolves = sess.stats().kept_solves;
       benchmark::DoNotOptimize(r);
     } else {
       LpResult r = solve_lp(m);
-      iters += r.iterations;
       Basis basis = r.basis;
+      state.ResumeTiming();
       for (int k = 0; k < 6 && r.status == LpStatus::Optimal; ++k) {
         auto [coefs, rhs] = make_cut(r.x);
         m.add_row("cut" + std::to_string(k), RowSense::LessEq, rhs,
@@ -235,11 +262,19 @@ void cut_resolve_mode_loop(benchmark::State& state, CutResolveMode mode) {
     }
   }
   state.counters["simplex_iters"] = static_cast<double>(iters);
-  if (mode == CutResolveMode::Dual) {
+  if (mode == CutResolveMode::KeptLu || mode == CutResolveMode::Dual) {
     state.counters["dual_resolves"] = static_cast<double>(dual_resolves);
+    state.counters["refactorizations"] = static_cast<double>(refactorizations);
+    state.counters["kept_resolves"] = static_cast<double>(kept_resolves);
   }
   state.SetLabel("m=" + std::to_string(n));
 }
+
+void BM_CutResolveKeptLu(benchmark::State& state) {
+  cut_resolve_mode_loop(state, CutResolveMode::KeptLu);
+}
+BENCHMARK(BM_CutResolveKeptLu)
+    ->Arg(200)->Arg(300)->Arg(500)->Unit(benchmark::kMillisecond);
 
 void BM_CutResolveDual(benchmark::State& state) {
   cut_resolve_mode_loop(state, CutResolveMode::Dual);

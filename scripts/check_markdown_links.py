@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Markdown link checker (stdlib only; used by CI and runnable locally).
+
+Checks every [text](target) and bare relative link in the given markdown
+files:
+  * relative file targets (optionally with #anchor) must exist on disk,
+    resolved against the markdown file's directory;
+  * intra-file #anchor targets must match a heading in the same file
+    (GitHub slug rules, simplified);
+  * http(s)/mailto targets are NOT fetched (CI must not flake on the
+    network) — they are only syntax-checked for balanced parentheses.
+
+Exit status: 0 when every link resolves, 1 otherwise (each failure is
+printed as file:line: message).
+
+Usage: check_markdown_links.py README.md ROADMAP.md docs/*.md
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# [text](target) — target ends at the first unbalanced ')'; good enough
+# for this repo's links (no nested parens in URLs).
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's heading-to-anchor slug, simplified (ASCII repos)."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[`*_]", "", slug)  # inline formatting
+    slug = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", slug)  # links -> text
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def collect_anchors(path: Path) -> set[str]:
+    anchors = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = HEADING_RE.match(line)
+        if m:
+            anchors.add(github_slug(m.group(1)))
+    return anchors
+
+
+def check_file(path: Path) -> list[str]:
+    errors = []
+    in_fence = False
+    own_anchors = None  # computed lazily
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for m in LINK_RE.finditer(line):
+            target = m.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue  # not fetched: CI must not depend on the network
+            base, _, anchor = target.partition("#")
+            if not base:  # intra-file anchor
+                if own_anchors is None:
+                    own_anchors = collect_anchors(path)
+                if anchor and github_slug(anchor) not in own_anchors:
+                    errors.append(
+                        f"{path}:{lineno}: broken anchor '#{anchor}'"
+                    )
+                continue
+            dest = (path.parent / base).resolve()
+            if not dest.exists():
+                errors.append(
+                    f"{path}:{lineno}: broken link '{target}' "
+                    f"(resolved to {dest})"
+                )
+                continue
+            if anchor and dest.suffix.lower() == ".md":
+                if github_slug(anchor) not in collect_anchors(dest):
+                    errors.append(
+                        f"{path}:{lineno}: broken anchor "
+                        f"'{base}#{anchor}'"
+                    )
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    all_errors = []
+    checked = 0
+    for arg in argv[1:]:
+        p = Path(arg)
+        if not p.exists():
+            all_errors.append(f"{p}: file not found")
+            continue
+        checked += 1
+        all_errors.extend(check_file(p))
+    for err in all_errors:
+        print(err)
+    print(f"checked {checked} file(s): "
+          f"{'OK' if not all_errors else f'{len(all_errors)} broken link(s)'}")
+    return 1 if all_errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -13,7 +13,8 @@ using std::size_t;
 
 // ----------------------------------------------------------------- BasisLu
 
-BasisLu::BasisLu(int m, const BasisKernelOptions& opts) : m_(m), opts_(opts) {
+BasisLu::BasisLu(int m, const BasisKernelOptions& opts)
+    : m_(m), dim_(m), opts_(opts) {
   const auto mm = static_cast<size_t>(m);
   lu_.assign(mm * mm, 0.0);
   perm_.resize(mm);
@@ -21,8 +22,16 @@ BasisLu::BasisLu(int m, const BasisKernelOptions& opts) : m_(m), opts_(opts) {
 }
 
 bool BasisLu::factorize(const std::vector<std::vector<double>>& cols) {
-  const auto m = static_cast<size_t>(m_);
-  etas_.clear();
+  const auto m = cols.size();
+  // Adopt the column count as the new dimension: a kernel kept alive in an
+  // LpSession is recycled by refactorizing it at whatever size the model
+  // has grown (appended cuts) or shrunk (popped frames) to.
+  m_ = static_cast<int>(m);
+  dim_ = m_;
+  lu_.resize(m * m);
+  perm_.resize(m);
+  scratch_.resize(m);
+  updates_.clear();
   // Row-major working copy a[r][c] = cols[c][r], plus the per-column scale
   // used for the *relative* singularity test: a pivot is only "too small"
   // when it is tiny compared to its own column, not on an absolute scale.
@@ -64,48 +73,68 @@ bool BasisLu::factorize(const std::vector<std::vector<double>>& cols) {
 
 void BasisLu::ftran(std::vector<double>& v) const {
   const auto m = static_cast<size_t>(m_);
-  if (m == 0) return;
+  // Base solve on the first m_ entries (entries beyond m_ belong to
+  // bordered rows, which the base factors treat as an identity block):
   // x = P v, then L x = x (forward, unit diagonal), then U x = x (backward).
-  std::vector<double>& x = scratch_;
-  size_t first = m;  // leading zeros of Pv stay zero through the L solve
-  for (size_t k = 0; k < m; ++k) {
-    x[k] = v[static_cast<size_t>(perm_[k])];
-    if (first == m && x[k] != 0.0) first = k;
+  if (m != 0) {
+    std::vector<double>& x = scratch_;
+    size_t first = m;  // leading zeros of Pv stay zero through the L solve
+    for (size_t k = 0; k < m; ++k) {
+      x[k] = v[static_cast<size_t>(perm_[k])];
+      if (first == m && x[k] != 0.0) first = k;
+    }
+    for (size_t k = first + 1; k < m; ++k) {
+      const double* row = &lu_[k * m];
+      double s = x[k];
+      for (size_t j = first; j < k; ++j) s -= row[j] * x[j];
+      x[k] = s;
+    }
+    for (size_t k = m; k-- > 0;) {
+      const double* row = &lu_[k * m];
+      double s = x[k];
+      for (size_t j = k + 1; j < m; ++j) s -= row[j] * x[j];
+      x[k] = s / row[k];
+    }
+    std::copy(x.begin(), x.end(), v.begin());
   }
-  for (size_t k = first + 1; k < m; ++k) {
-    const double* row = &lu_[k * m];
-    double s = x[k];
-    for (size_t j = first; j < k; ++j) s -= row[j] * x[j];
-    x[k] = s;
-  }
-  for (size_t k = m; k-- > 0;) {
-    const double* row = &lu_[k * m];
-    double s = x[k];
-    for (size_t j = k + 1; j < m; ++j) s -= row[j] * x[j];
-    x[k] = s / row[k];
-  }
-  v.swap(x);
-  // Product-form updates, oldest first: B = B₀E₁…E_K ⇒ B⁻¹ = E_K⁻¹…E₁⁻¹B₀⁻¹.
-  for (const Eta& e : etas_) {
-    const auto r = static_cast<size_t>(e.row);
-    const double xr = v[r] / e.pivot;
-    v[r] = xr;
-    if (xr == 0.0) continue;
-    for (const auto& [i, wi] : e.col) v[static_cast<size_t>(i)] -= wi * xr;
+  // Product-form updates, oldest first: B = B₀U₁…U_K ⇒ B⁻¹ = U_K⁻¹…U₁⁻¹B₀⁻¹.
+  for (const Update& u : updates_) {
+    if (u.kind == Update::Kind::Border) {
+      // [[B,0],[rᵀ,1]]⁻¹ acts as x_d := v_d − rᵀ·x on the prefix solved so
+      // far (border pivot is exactly 1).
+      double s = v[static_cast<size_t>(u.row)];
+      for (const auto& [i, ri] : u.col) s -= ri * v[static_cast<size_t>(i)];
+      v[static_cast<size_t>(u.row)] = s;
+    } else {
+      const auto r = static_cast<size_t>(u.row);
+      const double xr = v[r] / u.pivot;
+      v[r] = xr;
+      if (xr == 0.0) continue;
+      for (const auto& [i, wi] : u.col) v[static_cast<size_t>(i)] -= wi * xr;
+    }
   }
 }
 
 void BasisLu::btran(std::vector<double>& v) const {
+  // B⁻ᵀ = B₀⁻ᵀ U₁⁻ᵀ … U_K⁻ᵀ: apply update transposes newest first, then the
+  // LU transpose solve on the first m_ entries.
+  for (auto it = updates_.rbegin(); it != updates_.rend(); ++it) {
+    const Update& u = *it;
+    if (u.kind == Update::Kind::Border) {
+      // [[B,0],[rᵀ,1]]⁻ᵀ: v_p := v_p − r_p·v_d for the border's support;
+      // v_d itself passes through.
+      const double vd = v[static_cast<size_t>(u.row)];
+      if (vd == 0.0) continue;
+      for (const auto& [i, ri] : u.col) v[static_cast<size_t>(i)] -= ri * vd;
+    } else {
+      // E⁻ᵀ v: only entry `row` changes.
+      double s = v[static_cast<size_t>(u.row)];
+      for (const auto& [i, wi] : u.col) s -= wi * v[static_cast<size_t>(i)];
+      v[static_cast<size_t>(u.row)] = s / u.pivot;
+    }
+  }
   const auto m = static_cast<size_t>(m_);
   if (m == 0) return;
-  // B⁻ᵀ = B₀⁻ᵀ E₁⁻ᵀ … E_K⁻ᵀ: apply eta transposes newest first, then the
-  // LU transpose solve. E⁻ᵀ v: only entry `row` changes.
-  for (auto it = etas_.rbegin(); it != etas_.rend(); ++it) {
-    const Eta& e = *it;
-    double s = v[static_cast<size_t>(e.row)];
-    for (const auto& [i, wi] : e.col) s -= wi * v[static_cast<size_t>(i)];
-    v[static_cast<size_t>(e.row)] = s / e.pivot;
-  }
   // B₀ = Pᵀ L U ⇒ B₀ᵀ y = v solved as Uᵀ a = v, Lᵀ c = a, y = Pᵀ c.
   // Both sweeps stream row j of lu_ (saxpy form) to stay cache-friendly.
   std::vector<double>& a = scratch_;
@@ -126,23 +155,45 @@ void BasisLu::btran(std::vector<double>& v) const {
 }
 
 bool BasisLu::update(const std::vector<double>& w, int leaving_row) {
-  if (static_cast<int>(etas_.size()) >= opts_.max_etas) return false;
+  if (static_cast<int>(updates_.size()) >= opts_.max_etas) return false;
   const double piv = w[static_cast<size_t>(leaving_row)];
   double wmax = 0.0;
   for (const double x : w) wmax = std::max(wmax, std::abs(x));
   // A pivot tiny relative to the rest of the eta column would amplify
   // round-off on every subsequent ftran/btran; refactorize instead.
   if (std::abs(piv) <= opts_.stability_tol * std::max(1.0, wmax)) return false;
-  Eta e;
-  e.row = leaving_row;
-  e.pivot = piv;
+  Update u;
+  u.kind = Update::Kind::Eta;
+  u.row = leaving_row;
+  u.pivot = piv;
   for (size_t i = 0; i < w.size(); ++i) {
     if (static_cast<int>(i) == leaving_row) continue;
     if (std::abs(w[i]) > opts_.eta_drop_tol) {
-      e.col.emplace_back(static_cast<int>(i), w[i]);
+      u.col.emplace_back(static_cast<int>(i), w[i]);
     }
   }
-  etas_.push_back(std::move(e));
+  updates_.push_back(std::move(u));
+  return true;
+}
+
+bool BasisLu::append_row(
+    const std::vector<std::pair<int, double>>& row_on_basis) {
+  // Borders share the eta budget: each adds the same O(nnz) term to every
+  // subsequent ftran/btran, so past the limit a refactorization (which
+  // folds them all back into dense LU factors) is the cheaper steady state.
+  if (static_cast<int>(updates_.size()) >= opts_.max_etas) return false;
+  Update u;
+  u.kind = Update::Kind::Border;
+  u.row = dim_;
+  u.pivot = 1.0;
+  u.col.reserve(row_on_basis.size());
+  for (const auto& [i, ri] : row_on_basis) {
+    // Border entries are exact constraint coefficients (not a correction
+    // term like an eta), so only exact zeros are dropped.
+    if (ri != 0.0) u.col.emplace_back(i, ri);
+  }
+  updates_.push_back(std::move(u));
+  ++dim_;
   return true;
 }
 
@@ -157,7 +208,10 @@ DenseInverseKernel::DenseInverseKernel(int m, const BasisKernelOptions& opts)
 
 bool DenseInverseKernel::factorize(
     const std::vector<std::vector<double>>& cols) {
-  const auto m = static_cast<size_t>(m_);
+  const auto m = cols.size();
+  m_ = static_cast<int>(m);
+  binv_.resize(m * m);
+  scratch_.resize(m);
   std::vector<double> a(m * m, 0.0);
   for (size_t c = 0; c < m; ++c) {
     for (size_t r = 0; r < m; ++r) a[r * m + c] = cols[c][r];

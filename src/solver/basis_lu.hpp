@@ -8,35 +8,48 @@
 //   btran(v)               v := B⁻ᵀ v   (duals, tableau rows),
 //   update(w, r)           replace basis column r; w = B⁻¹ a_entering.
 //
+// and, since the factorization is now kept alive across LpSession solves,
+// a fifth that grows the basis when a cut row is appended:
+//
+//   append_row(r)          bordered update: B' = [[B, 0], [rᵀ, 1]] — the
+//                          new row's slack enters basic at the new slot.
+//
 // Two implementations share that interface:
 //
 //  * BasisLu — LU with partial pivoting plus product-form (eta) updates.
 //    Refactorization is O(m³/3); each pivot appends an O(nnz(w)) eta vector
 //    instead of touching all m² entries of an explicit inverse, and the
 //    kernel asks for a refactorization (update() returning false) once the
-//    eta file grows past `max_etas` or a pivot is too small relative to
-//    ‖w‖∞ to be applied stably. Singularity during factorization is judged
-//    per column *relative to that column's magnitude* so badly scaled but
-//    perfectly regular bases (e.g. 1e-10-coefficient rows next to 1e7
-//    capacities) are not rejected.
+//    update file grows past `max_etas` or a pivot is too small relative to
+//    ‖w‖∞ to be applied stably. A bordered append is one more entry in the
+//    same update file with an exact ±1 pivot (the slack column), so a cut
+//    round costs O(nnz(cut)) instead of an O(m³/3) refactorization.
+//    Singularity during factorization is judged per column *relative to
+//    that column's magnitude* so badly scaled but perfectly regular bases
+//    (e.g. 1e-10-coefficient rows next to 1e7 capacities) are not rejected.
 //
 //  * DenseInverseKernel — the pre-LU explicit dense B⁻¹ maintained by
 //    Gauss–Jordan pivots, retained as a reference baseline for tests and
 //    benchmarks (O(m³) factorize, O(m²) per pivot, absolute pivot
-//    threshold). Select it with SimplexOptions::dense_basis_inverse.
+//    threshold, no bordered append — callers refactorize instead). Select
+//    it with SimplexOptions::dense_basis_inverse.
 #pragma once
 
 #include <memory>
+#include <utility>
 #include <vector>
 
 namespace ovnes::solver {
 
+/// \brief Tuning knobs shared by the basis factorization kernels.
 struct BasisKernelOptions {
   /// Singularity threshold during factorize(). BasisLu applies it relative
   /// to each column's largest magnitude; DenseInverseKernel applies it
   /// absolutely (the historical behaviour it exists to reproduce).
   double pivot_tol = 1e-9;
-  /// BasisLu: refactorize after this many product-form updates.
+  /// BasisLu: refactorize after this many product-form updates. Bordered
+  /// appends (append_row) count against the same budget — each one adds
+  /// the same O(nnz) term to every subsequent ftran/btran an eta does.
   int max_etas = 64;
   /// BasisLu: eta entries below this magnitude are dropped.
   double eta_drop_tol = 1e-12;
@@ -45,36 +58,73 @@ struct BasisKernelOptions {
   double stability_tol = 1e-8;
 };
 
+/// \brief Pluggable basis factorization behind the revised simplex.
+///
+/// One kernel instance represents the factorization of a single basis
+/// matrix B. The simplex keeps it in sync with its basis ordering: every
+/// pivot is either absorbed with update() or answered with a full
+/// factorize(); appended cut rows are absorbed with append_row(). Kernels
+/// are not thread-safe; each LpSession / simplex run owns its own.
 class BasisKernel {
  public:
   virtual ~BasisKernel() = default;
 
-  /// Rebuild the factorization from the basis columns (cols[j] is dense
-  /// column j, size m). Returns false when B is numerically singular; the
-  /// kernel state is then unusable until a successful factorize.
+  /// \brief Rebuild the factorization from the basis columns.
+  ///
+  /// cols[j] is dense column j, size cols.size(); the kernel adopts
+  /// cols.size() as its new dimension (this is how a kernel kept alive
+  /// across LpSession solves is recycled after the model grew or shrank).
+  /// Returns false when B is numerically singular; the kernel state is
+  /// then unusable until a successful factorize.
   [[nodiscard]] virtual bool factorize(
       const std::vector<std::vector<double>>& cols) = 0;
 
-  /// v := B⁻¹ v.
+  /// \brief v := B⁻¹ v (v.size() == dim()).
   virtual void ftran(std::vector<double>& v) const = 0;
 
-  /// v := B⁻ᵀ v.
+  /// \brief v := B⁻ᵀ v (v.size() == dim()).
   virtual void btran(std::vector<double>& v) const = 0;
 
-  /// Account for basis column `leaving_row` being replaced by the column
-  /// whose FTRAN image is `w` (i.e. w = B⁻¹ a_entering, computed by the
-  /// caller; the pivot element is w[leaving_row]). Returns false when the
-  /// kernel declines — the caller must then refactorize from the updated
-  /// basis columns instead.
+  /// \brief Absorb one basis change (column `leaving_row` replaced).
+  ///
+  /// `w` is the FTRAN image of the entering column (w = B⁻¹ a_entering,
+  /// computed by the caller; the pivot element is w[leaving_row]). Returns
+  /// false when the kernel declines — the caller must then refactorize
+  /// from the updated basis columns instead.
   [[nodiscard]] virtual bool update(const std::vector<double>& w,
                                     int leaving_row) = 0;
 
-  /// Product-form updates absorbed since the last factorize (0 for kernels
-  /// without an eta file).
+  /// \brief Grow the basis by one appended row (bordered update).
+  ///
+  /// The new basis is B' = [[B, 0], [rᵀ, 1]]: the appended row's slack
+  /// enters basic at the new slot, and `row_on_basis` lists the appended
+  /// row's coefficients on the incumbent basic columns as (slot, value)
+  /// pairs (slot < dim()). The border pivot is exactly 1, so the update is
+  /// unconditionally stable; kernels decline (returning false) only when
+  /// they do not support borders or the update budget is exhausted — the
+  /// caller then refactorizes at the full new dimension.
+  [[nodiscard]] virtual bool append_row(
+      const std::vector<std::pair<int, double>>& row_on_basis) {
+    (void)row_on_basis;
+    return false;
+  }
+
+  /// \brief Current dimension: rows of the factorized basis plus any
+  /// bordered appends absorbed since.
+  [[nodiscard]] virtual int dim() const = 0;
+
+  /// \brief Product-form updates (etas + borders) absorbed since the last
+  /// factorize (0 for kernels without an update file).
   [[nodiscard]] virtual int updates_since_factorize() const { return 0; }
+
+  /// \brief Replace the tuning knobs (used when a kernel kept alive in an
+  /// LpSession is re-adopted by a solve whose model size implies a
+  /// different eta budget).
+  virtual void set_options(const BasisKernelOptions& opts) = 0;
 };
 
-/// LU factorization with partial pivoting + product-form eta updates.
+/// \brief LU factorization with partial pivoting + product-form updates
+/// (etas and bordered row appends).
 class BasisLu final : public BasisKernel {
  public:
   explicit BasisLu(int m, const BasisKernelOptions& opts = {});
@@ -85,28 +135,40 @@ class BasisLu final : public BasisKernel {
   void btran(std::vector<double>& v) const override;
   [[nodiscard]] bool update(const std::vector<double>& w,
                             int leaving_row) override;
+  [[nodiscard]] bool append_row(
+      const std::vector<std::pair<int, double>>& row_on_basis) override;
+  [[nodiscard]] int dim() const override { return dim_; }
   [[nodiscard]] int updates_since_factorize() const override {
-    return static_cast<int>(etas_.size());
+    return static_cast<int>(updates_.size());
   }
+  void set_options(const BasisKernelOptions& opts) override { opts_ = opts; }
 
  private:
-  /// One product-form update: B_new = B_old · E with E = I except column
-  /// `row`, which holds w. Stored sparsely (pivot + off-pivot nonzeros).
-  struct Eta {
+  /// One product-form update. Two kinds:
+  ///  * Eta: B_new = B_old · E with E = I except column `row`, which holds
+  ///    w (pivot + off-pivot nonzeros, stored sparsely);
+  ///  * Border: B_new = [[B_old, 0], [rᵀ, 1]] for an appended cut row —
+  ///    `row` is the new slot index, `col` holds rᵀ (slot, value) pairs,
+  ///    and the pivot is exactly 1.
+  struct Update {
+    enum class Kind : unsigned char { Eta, Border };
+    Kind kind = Kind::Eta;
     int row = 0;
     double pivot = 1.0;
-    std::vector<std::pair<int, double>> col;  ///< (i, w_i) for i != row
+    std::vector<std::pair<int, double>> col;
   };
 
-  int m_;
+  int m_;    ///< dimension of the LU factors (at last factorize)
+  int dim_;  ///< m_ plus bordered appends absorbed since
   BasisKernelOptions opts_;
   std::vector<double> lu_;   ///< m×m row-major; unit-L below diag, U on/above
   std::vector<int> perm_;    ///< lu_ row k corresponds to original row perm_[k]
-  std::vector<Eta> etas_;    ///< applied in order after the LU solve
+  std::vector<Update> updates_;  ///< applied in order after the LU solve
   mutable std::vector<double> scratch_;  ///< solve buffer (no per-call alloc)
 };
 
-/// Explicit dense B⁻¹ maintained by Gauss–Jordan pivots (reference kernel).
+/// \brief Explicit dense B⁻¹ maintained by Gauss–Jordan pivots (reference
+/// kernel; declines bordered appends).
 class DenseInverseKernel final : public BasisKernel {
  public:
   explicit DenseInverseKernel(int m, const BasisKernelOptions& opts = {});
@@ -117,12 +179,39 @@ class DenseInverseKernel final : public BasisKernel {
   void btran(std::vector<double>& v) const override;
   [[nodiscard]] bool update(const std::vector<double>& w,
                             int leaving_row) override;
+  [[nodiscard]] int dim() const override { return m_; }
+  void set_options(const BasisKernelOptions& opts) override { opts_ = opts; }
 
  private:
   int m_;
   BasisKernelOptions opts_;
   std::vector<double> binv_;  ///< m×m row-major
   mutable std::vector<double> scratch_;  ///< solve buffer (no per-call alloc)
+};
+
+/// \brief Live factorization handed across solves.
+///
+/// LpSession owns one of these and threads it through every solve: the
+/// simplex moves `kernel` out on entry and back in on every exit. When
+/// `basis_order` is non-empty the kernel is the factorization of exactly
+/// those columns (slot i ↔ basis_order[i], taken at a solve that ended
+/// Optimal on a model with `num_vars` variables and `num_rows` rows); a
+/// later solve whose warm basis marks the same variable set Basic adopts
+/// the factors verbatim — zero refactorizations — and absorbs rows
+/// appended since as bordered updates. After a failed solve or any other
+/// state the next solve must not trust, `basis_order` is empty and only
+/// the kernel's allocation is recycled.
+struct BasisFactors {
+  std::unique_ptr<BasisKernel> kernel;
+  std::vector<int> basis_order;  ///< column index per slot; empty = stale
+  int num_vars = 0;              ///< structural vars at snapshot time
+  int num_rows = 0;              ///< model rows at snapshot time (== dim)
+  bool dense = false;            ///< kernel is the dense reference
+
+  /// True when the factors describe a basis a solve may adopt.
+  [[nodiscard]] bool reusable() const {
+    return kernel != nullptr && !basis_order.empty();
+  }
 };
 
 /// Factory used by the simplex: LU by default, the dense reference kernel

@@ -82,24 +82,44 @@ void LpSession::pop() {
   m.truncate_rows(f.num_rows);
   basis_ = std::move(f.basis);
   frames_.pop_back();
+  // The kept factorization is NOT rolled back here — the next solve's
+  // adoption check does the right thing on its own: if the frame only
+  // touched bounds and the restored snapshot marks the same variable set
+  // Basic, the incumbent kernel is reused verbatim (a factorization
+  // depends on the basis columns, not on bounds); if rows were appended
+  // inside the frame, or the frame's solve failed (which cleared the
+  // kernel's slot order), or the basic set moved, the next solve
+  // refactorizes from the restored snapshot's statuses instead of
+  // resuming on stale or failed factors.
 }
 
 const LpResult& LpSession::solve() {
   const Basis* warm =
       (basis_ != nullptr && !basis_->empty()) ? basis_.get() : nullptr;
-  result_ = detail::simplex_solve(model(), opts_, warm);
+  // The live factorization rides along only for owned, keep-alive sessions:
+  // one-shot borrowed wrappers have nothing to carry it to, and
+  // keep_factors = false restores the rebuild-from-statuses behaviour.
+  BasisFactors* kept =
+      (borrowed_ == nullptr && opts_.keep_factors) ? &kept_ : nullptr;
+  result_ = detail::simplex_solve(model(), opts_, warm, kept);
   if (result_.status == LpStatus::IterationLimit && result_.used_warm_start) {
     // Warm starting is a pivot-count optimization and must never degrade
     // the outcome: a numerically poor incumbent basis that stalls the
-    // solve is retried cold before reporting failure.
+    // solve is retried cold before reporting failure. (The failed run
+    // already cleared kept_'s order, so the retry reuses only the kernel
+    // allocation, never the failed factors.)
     const int warm_iters = result_.iterations;
-    result_ = detail::simplex_solve(model(), opts_, nullptr);
+    const int warm_refacs = result_.refactorizations;
+    result_ = detail::simplex_solve(model(), opts_, nullptr, kept);
     result_.iterations += warm_iters;
+    result_.refactorizations += warm_refacs;
   }
 
   ++stats_.solves;
   stats_.iterations += result_.iterations;
+  stats_.refactorizations += result_.refactorizations;
   if (result_.used_dual_simplex) ++stats_.dual_solves;
+  if (result_.used_kept_factors) ++stats_.kept_solves;
   if (result_.used_warm_start) {
     ++stats_.warm_solves;
   } else {

@@ -18,6 +18,17 @@
 //   * set_cost(...)     objective delta, basis stays primal-feasible  ->
 //                       warm primal Phase 2.
 //
+// Beyond the basis *statuses*, the session keeps the basis *factorization*
+// itself alive between solves (BasisFactors, solver/basis_lu.hpp): a
+// re-solve whose warm basis matches the kept factors adopts them verbatim,
+// an appended cut row is absorbed as a bordered update (the new slack
+// enters basic; one exact-pivot border instead of an O(m³/3)
+// refactorization), and refactorization happens only on the kernel's own
+// triggers — eta limit, unstable pivot, x_B drift — or a basis mismatch
+// (a pop() to an older snapshot, an injected foreign warm basis).
+// SimplexOptions::keep_factors opts out for A/B comparisons and for
+// callers that need solves to be a pure function of (model, warm basis).
+//
 // push()/pop() open scoped delta frames for branch-and-bound: a frame
 // records the row count, the previous value of every bound/cost touched
 // inside it, and the incumbent basis *handle*; pop() restores all three.
@@ -33,16 +44,32 @@
 #include <string>
 #include <vector>
 
+#include "solver/basis_lu.hpp"
 #include "solver/lp_model.hpp"
 #include "solver/simplex.hpp"
 
 namespace ovnes::solver {
 
-/// Refcounted immutable basis snapshot. Shared between an LpSession's
-/// delta frames, sibling B&B nodes inheriting one parent basis, and the
-/// session's own incumbent — replacing the full Basis copy per holder.
+/// \brief Refcounted immutable basis snapshot. Shared between an
+/// LpSession's delta frames, sibling B&B nodes inheriting one parent
+/// basis, and the session's own incumbent — replacing the full Basis
+/// copy per holder.
 using SharedBasis = std::shared_ptr<const Basis>;
 
+/// \brief Stateful incremental LP solver session (the production-engine
+/// shape: construct once, mutate through typed deltas, re-solve).
+///
+/// Between solve() calls the session keeps (1) the incumbent basis
+/// snapshot (SharedBasis) and (2) the live basis factorization
+/// (BasisFactors): re-solves dispatch the cheapest algorithm per delta
+/// type (dual simplex after cuts/branched bounds, warm primal after cost
+/// nudges) and adopt the kept factors instead of refactorizing whenever
+/// the basis still matches — see docs/architecture.md for the dispatch
+/// table and the cut-round lifecycle.
+///
+/// Thread compatibility matches solve_lp: no global state; one session
+/// per thread (B&B lanes and Benders probe slaves each own one);
+/// sessions on distinct models never race.
 class LpSession {
  public:
   /// Take ownership of `model` (move in; pass a copy to keep the
@@ -105,6 +132,11 @@ class LpSession {
     return borrowed_ != nullptr ? *borrowed_ : model_;
   }
   void set_allow_dual(bool allow) { opts_.allow_dual = allow; }
+  /// Toggle factorization keep-alive (SimplexOptions::keep_factors; on by
+  /// default). Off: every solve rebuilds the LU from the basis statuses —
+  /// the PR 4 behaviour, kept for A/B benches and for callers that need
+  /// the result to be a pure function of (model, warm basis).
+  void set_keep_factors(bool keep) { opts_.keep_factors = keep; }
 
   // -------------------------------------------------------------- stats
   struct Stats {
@@ -112,7 +144,10 @@ class LpSession {
     long dual_solves = 0;  ///< dual simplex restored primal feasibility
     long warm_solves = 0;  ///< incumbent basis adopted (includes dual)
     long cold_solves = 0;  ///< artificial cold start
+    long kept_solves = 0;  ///< live factorization adopted, 0 refactorizations
+                           ///< on entry (bound deltas verbatim, cuts bordered)
     long iterations = 0;   ///< total pivots across all solves
+    long refactorizations = 0;  ///< from-scratch factorizations, all solves
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
@@ -140,6 +175,11 @@ class LpSession {
   const LpModel* borrowed_ = nullptr;  ///< set only by borrow()
   SimplexOptions opts_;
   SharedBasis basis_;
+  /// Live factorization carried across solves (kernel + slot order). The
+  /// simplex adopts it when its order matches the warm basis and hands it
+  /// back on every exit; after a failed solve its order is cleared, so a
+  /// pop() back to a frame snapshot can never resume on failed factors.
+  BasisFactors kept_;
   LpResult result_;
   std::vector<Frame> frames_;
   Stats stats_;

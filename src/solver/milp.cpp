@@ -219,7 +219,18 @@ bool evaluate_node(BnbShared& sh, Node& node,
     // Lane-private session, constructed once per lane: the node's bound
     // fixes are applied inside a push()ed delta frame (undone by pop()
     // below) and the parent's basis rides in as a refcounted handle.
-    if (!sess.has_value()) sess.emplace(base, opts.lp);
+    // keep_factors stays OFF for node evaluation: a lane-persistent
+    // factorization would make a node's LP result depend on which nodes
+    // the lane happened to solve before, and the determinism contract
+    // (delta frames explore exactly the tree per-node model copies do;
+    // serial and parallel agree on the objective) needs each node to be a
+    // pure function of (bounds, warm basis). The dive heuristic and the
+    // Benders master session — both strictly sequential — do keep theirs.
+    if (!sess.has_value()) {
+      SimplexOptions lane_lp = opts.lp;
+      lane_lp.keep_factors = false;
+      sess.emplace(base, lane_lp);
+    }
     sess->push();
     for (const auto& [var, lo, hi] : node.fixes) sess->set_bounds(var, lo, hi);
     sess->set_warm_basis(node.warm);

@@ -44,6 +44,8 @@ enum class MilpStatus {
 
 [[nodiscard]] const char* to_string(MilpStatus s);
 
+/// \brief Outcome of a branch-and-bound solve: incumbent, certified
+/// bound/gap, and search statistics.
 struct MilpResult {
   MilpStatus status = MilpStatus::NoSolution;
   double objective = 0.0;       ///< incumbent objective (valid unless NoSolution)
@@ -69,6 +71,14 @@ struct MilpResult {
   [[nodiscard]] double gap() const;
 };
 
+/// \brief Tuning knobs for the branch-and-bound MILP solver.
+///
+/// The node/time limits make the solver an anytime algorithm; `threads`
+/// and `pool` select the parallel lane count (serial and parallel runs
+/// report the same objective); `lp` is forwarded to every node's LP
+/// re-solve. Lane sessions force SimplexOptions::keep_factors off so a
+/// node's result stays a pure function of (bounds, warm basis) — the
+/// delta-vs-copy identical-tree guarantee.
 struct MilpOptions {
   long max_nodes = 200000;
   double time_limit_sec = 60.0;

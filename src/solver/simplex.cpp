@@ -32,13 +32,55 @@ enum class VarStatus : unsigned char { Basic, AtLower, AtUpper };
 class Simplex {
  public:
   Simplex(const LpModel& model, const SimplexOptions& opts,
-          const Basis* warm = nullptr)
-      : model_(model), opts_(opts), warm_(warm),
+          const Basis* warm = nullptr, BasisFactors* kept = nullptr)
+      : model_(model), opts_(opts), warm_(warm), kept_(kept),
         m_(model.num_rows()), n_(model.num_vars()) {
     build_core();
   }
 
   LpResult run() {
+    LpResult res = run_impl();
+    res.refactorizations = refactorizations_;
+    res.used_kept_factors = adopted_kept_;
+    // Hand the kernel back on every exit. The slot order is trustworthy
+    // only after an Optimal solve that produced a basis snapshot (no
+    // artificial basic): anything else — Infeasible, a limit hit, a stale
+    // warm basis — leaves factors the next solve must not adopt, so only
+    // the allocation is recycled.
+    if (kept_ != nullptr) {
+      if (res.status == LpStatus::Optimal && !res.basis.empty() && m_ > 0) {
+        // Lean handback: past half the update budget, fold the eta/border
+        // file into fresh LU factors now rather than dragging it through
+        // every FTRAN/BTRAN of the next solve's pivots. Amortized this is
+        // one O(m³/3) per ~budget/2 updates — the same rate the in-loop
+        // eta limit would force, but the next re-solve starts lean.
+        if (kernel_ != nullptr &&
+            2 * kernel_->updates_since_factorize() >= kernel_max_updates_ &&
+            !factorize_current_basis()) {
+          // A singular refactorization of a basis that just solved to
+          // optimality means the factors have drifted badly; hand back
+          // only the allocation.
+          kept_->basis_order.clear();
+          kept_->kernel = std::move(kernel_);
+          kept_->dense = opts_.dense_basis_inverse;
+          res.refactorizations = refactorizations_;
+          return res;
+        }
+        kept_->basis_order = basis_;
+        kept_->num_vars = n_;
+        kept_->num_rows = m_;
+      } else {
+        kept_->basis_order.clear();
+      }
+      kept_->kernel = std::move(kernel_);
+      kept_->dense = opts_.dense_basis_inverse;
+      res.refactorizations = refactorizations_;
+    }
+    return res;
+  }
+
+ private:
+  LpResult run_impl() {
     LpResult res;
     // A warm basis snapshot referencing rows or variables beyond the
     // model's current dimensions is a stale handle (the model was
@@ -153,7 +195,6 @@ class Simplex {
     return res;
   }
 
- private:
   [[nodiscard]] bool is_artificial(int j) const { return j >= n_ + m_; }
 
   [[nodiscard]] double lower(int j) const { return lb_[static_cast<size_t>(j)]; }
@@ -251,7 +292,26 @@ class Simplex {
     // scaling down for small ones keeps tiny LPs (B&B nodes) cheap.
     kopts.max_etas =
         std::min(std::max(1, opts_.refactor_interval), std::max(8, m_ / 2));
-    kernel_ = make_basis_kernel(m_, opts_.dense_basis_inverse, kopts);
+    if (kept_ != nullptr) {
+      // Kept-kernel sessions amortize refactorizations across solves, so
+      // the update file gets the full break-even budget (~m/2, where the
+      // per-pivot drag of one more eta equals the amortized O(m³/3)
+      // refactorization) instead of the per-solve refactor_interval cap —
+      // short cut-round re-solves then run refactorization-free.
+      kopts.max_etas = std::max(kopts.max_etas, std::max(8, m_ / 2));
+    }
+    kernel_max_updates_ = kopts.max_etas;
+    if (kept_ != nullptr && kept_->kernel != nullptr &&
+        kept_->dense == opts_.dense_basis_inverse) {
+      // Recycle the session's live kernel: its state is adopted verbatim
+      // when the warm basis matches (adopt_kept_factors), and otherwise
+      // the first factorize resizes it — either way the allocation and,
+      // when possible, the factors survive across solves.
+      kernel_ = std::move(kept_->kernel);
+      kernel_->set_options(kopts);
+    } else {
+      kernel_ = make_basis_kernel(m_, opts_.dense_basis_inverse, kopts);
+    }
     for (int i = 0; i < m_; ++i) {
       const int aj = n_ + m_ + i;
       lb_[static_cast<size_t>(aj)] = 0.0;
@@ -355,9 +415,72 @@ class Simplex {
       ub_[static_cast<size_t>(aj)] = kInf;
       status_[static_cast<size_t>(aj)] = VarStatus::AtLower;
     }
-    if (!factorize_columns(cand)) return false;
-    for (int i = 0; i < m_; ++i) basis_[static_cast<size_t>(i)] = cand[static_cast<size_t>(i)];
+    if (!adopt_kept_factors(warm)) {
+      if (!factorize_columns(cand)) return false;
+      for (int i = 0; i < m_; ++i) {
+        basis_[static_cast<size_t>(i)] = cand[static_cast<size_t>(i)];
+      }
+    }
     refresh_basics();
+    return true;
+  }
+
+  /// Adopt the session's kept factorization instead of refactorizing from
+  /// the warm statuses. Valid only when the kept slot order describes
+  /// exactly the warm snapshot's basic set (same vintage: equal row
+  /// counts, every slot variable marked Basic, none of them a slack of a
+  /// row appended since). Rows the model gained since the snapshot are
+  /// absorbed as bordered updates — their slacks enter basic at the new
+  /// slots, matching the statuses try_warm_basis already applied. Falls
+  /// back to a full-dimension refactorization of the kept order when the
+  /// kernel declines a border (update budget); returns false — leaving
+  /// the caller to factorize from the candidate list — when the factors
+  /// cannot be trusted at all.
+  [[nodiscard]] bool adopt_kept_factors(const Basis& warm) {
+    if (kept_ == nullptr || kept_->basis_order.empty()) return false;
+    if (kept_->num_vars != n_ || kept_->num_rows > m_) return false;
+    if (warm.num_rows != kept_->num_rows) return false;
+    if (kernel_ == nullptr || kernel_->dim() != kept_->num_rows) return false;
+    const int k = kept_->num_rows;
+    for (int i = 0; i < k; ++i) {
+      const int v = kept_->basis_order[static_cast<size_t>(i)];
+      // Appended-row slacks (j >= n_ + k) can never appear in a snapshot
+      // taken at k rows; together with the Basic check and the caller's
+      // total-basics count this proves the slot order and the warm basic
+      // set coincide exactly.
+      if (v < 0 || v >= n_ + k) return false;
+      if (status_[static_cast<size_t>(v)] != VarStatus::Basic) return false;
+    }
+    for (int i = 0; i < k; ++i) {
+      basis_[static_cast<size_t>(i)] = kept_->basis_order[static_cast<size_t>(i)];
+    }
+    for (int i = k; i < m_; ++i) basis_[static_cast<size_t>(i)] = n_ + i;
+
+    if (m_ > k) {
+      // Slot lookup for the border vectors: cut rows only reference
+      // structural variables, and those sit in the first k slots (slots
+      // k..m_-1 hold the appended rows' own slacks).
+      std::vector<int> slot_of(static_cast<size_t>(n_), -1);
+      for (int i = 0; i < k; ++i) {
+        const int v = kept_->basis_order[static_cast<size_t>(i)];
+        if (v < n_) slot_of[static_cast<size_t>(v)] = i;
+      }
+      std::vector<std::pair<int, double>> border;
+      for (int row = k; row < m_; ++row) {
+        border.clear();
+        for (const Coef& c : model_.row(row).coefs) {
+          const int s = slot_of[static_cast<size_t>(c.var)];
+          if (s >= 0) border.emplace_back(s, c.value);
+        }
+        if (!kernel_->append_row(border)) {
+          // Update budget exhausted (or the dense reference kernel):
+          // refactorize once at the full dimension, keeping the kept slot
+          // order so the adoption still succeeds.
+          return factorize_columns(basis_);
+        }
+      }
+    }
+    adopted_kept_ = true;
     return true;
   }
 
@@ -371,6 +494,7 @@ class Simplex {
       colsbuf_[i].resize(m);
       load_column(cand[i], colsbuf_[i]);
     }
+    ++refactorizations_;
     return kernel_->factorize(colsbuf_);
   }
 
@@ -482,11 +606,13 @@ class Simplex {
   enum class DualOutcome { Restored, NotDualFeasible, Abandoned };
 
   /// Restore primal feasibility of the adopted warm basis with dual
-  /// simplex pivots: pick the most-violated basic variable to leave toward
-  /// its violated bound, price pivot row r of B^{-1}N (one BTRAN of e_r
-  /// plus sparse dots), and enter the column whose reduced cost reaches
-  /// zero first (bounded-variable dual ratio test) so every reduced cost
-  /// stays on its feasible side. Applicable only when the basis is
+  /// simplex pivots: pick the leaving basic by dual steepest-edge pricing
+  /// (violation²/β with Forrest–Goldfarb reference weights; plain
+  /// most-violated when SimplexOptions::dual_steepest_edge is off), price
+  /// pivot row r of B^{-1}N (one BTRAN of e_r plus sparse dots), and
+  /// enter the column whose reduced cost reaches zero first
+  /// (bounded-variable dual ratio test) so every reduced cost stays on
+  /// its feasible side. Applicable only when the basis is
   /// dual-feasible under the phase-2 costs — exactly the state a Benders
   /// cut append or a branched bound leaves behind; each pivot then makes
   /// progress on the true objective instead of an artificial surrogate.
@@ -508,12 +634,22 @@ class Simplex {
     set_phase2_costs();
     freeze_nonbasic_artificials();
 
-    // Dual-feasibility precondition over the nonbasic columns.
+    const bool dse = opts_.dual_steepest_edge;
+
+    // Dual-feasibility precondition over the nonbasic columns. With DSE
+    // the same pass seeds the cached reduced costs, which are then
+    // maintained *incrementally* per pivot (y' = y + γρ_r with γ = d_q/α_r
+    // ⇒ d_j' = d_j − γα_j, using the pivot-row alphas the ratio test just
+    // computed) instead of re-BTRANing the duals every iteration — the
+    // classic production-solver dual loop. The legacy (dse = false) loop
+    // below recomputes both per pivot, byte-faithful to the PR 4 path.
     compute_duals();
+    if (dse) dvals_.assign(static_cast<size_t>(n_ + m_), 0.0);
     for (int j = 0; j < n_ + m_; ++j) {
       if (status_[static_cast<size_t>(j)] == VarStatus::Basic) continue;
       if (lower(j) == upper(j)) continue;  // fixed: any sign is dual-ok
       const double d = cost_[static_cast<size_t>(j)] - dot_column(j, y_);
+      if (dse) dvals_[static_cast<size_t>(j)] = d;
       if (status_[static_cast<size_t>(j)] == VarStatus::AtLower
               ? d < -opts_.opt_tol
               : d > opts_.opt_tol) {
@@ -521,19 +657,47 @@ class Simplex {
       }
     }
 
+    // Dual steepest-edge reference weights β_i ≈ ‖e_iᵀB⁻¹‖²: initialized
+    // to the reference framework (all ones) and updated *exactly* per
+    // pivot (Forrest–Goldfarb), so their accuracy is independent of
+    // refactorizations. Inexact weights can only degrade the row choice,
+    // never correctness.
+    if (dse) dse_.assign(static_cast<size_t>(m_), 1.0);
+
+    // Re-seed y_ and the cached reduced costs after a refactorization or
+    // refresh: the incremental updates restart from certified values.
+    const auto reprice = [&] {
+      if (!dse) return;
+      compute_duals();
+      for (int j = 0; j < n_ + m_; ++j) {
+        if (status_[static_cast<size_t>(j)] == VarStatus::Basic) continue;
+        dvals_[static_cast<size_t>(j)] =
+            cost_[static_cast<size_t>(j)] - dot_column(j, y_);
+      }
+    };
+
     int degenerate_streak = 0;
     bool bland = false;
     for (int iter = 0; iter < opts_.max_iterations; ++iter) {
-      // --- Leaving row: worst bound violation among the basics.
+      // --- Leaving row. With DSE: the basic whose bound violation is
+      // steepest in the dual norm (violation² / β); plain mode: the worst
+      // absolute violation.
       int r = -1;
-      double worst = opts_.feas_tol;
+      double best_score = 0.0;
       bool below = false;
       for (int i = 0; i < m_; ++i) {
         const int bv = basis_[static_cast<size_t>(i)];
         const double lo_v = lower(bv) - xb_[static_cast<size_t>(i)];
         const double hi_v = xb_[static_cast<size_t>(i)] - upper(bv);
-        if (lo_v > worst) { worst = lo_v; r = i; below = true; }
-        if (hi_v > worst) { worst = hi_v; r = i; below = false; }
+        const double viol = std::max(lo_v, hi_v);
+        if (viol <= opts_.feas_tol) continue;
+        const double score =
+            dse ? viol * viol / dse_[static_cast<size_t>(i)] : viol;
+        if (score > best_score) {
+          best_score = score;
+          r = i;
+          below = lo_v > hi_v;
+        }
       }
       if (r < 0) return DualOutcome::Restored;  // primal feasible
       ++iter_count;
@@ -541,11 +705,11 @@ class Simplex {
       const int leaving = basis_[static_cast<size_t>(r)];
       const double target = below ? lower(leaving) : upper(leaving);
 
-      // --- Pivot row r of B^{-1}N and current duals.
+      // --- Pivot row r of B^{-1}N (one BTRAN of e_r plus sparse dots).
       std::fill(rho_.begin(), rho_.end(), 0.0);
       rho_[static_cast<size_t>(r)] = 1.0;
       kernel_->btran(rho_);
-      compute_duals();
+      if (!dse) compute_duals();  // legacy loop re-derives duals per pivot
 
       // --- Dual ratio test. Eligible columns move x_B[r] toward the
       // violated bound when stepped in their own feasible direction;
@@ -555,19 +719,30 @@ class Simplex {
       int q = -1;
       double best_ratio = kInf;
       double best_mag = 0.0;
+      if (dse) scan_.clear();
       for (int j = 0; j < n_ + m_; ++j) {
         if (status_[static_cast<size_t>(j)] == VarStatus::Basic) continue;
         if (lower(j) == upper(j)) continue;
         const double alpha = dot_column(j, rho_);
         if (std::abs(alpha) <= opts_.pivot_tol) continue;
+        // Every nonbasic with a live pivot-row entry joins the d-update
+        // set, eligible for entering or not: its reduced cost moves either
+        // way when y steps along rho_.
+        if (dse) scan_.emplace_back(j, alpha);
         const double dir =
             status_[static_cast<size_t>(j)] == VarStatus::AtLower ? 1.0 : -1.0;
         // x_B[r] changes by -alpha*dir*t with t >= 0: require an increase
         // when below the lower bound, a decrease when above the upper.
         const double eff = alpha * dir;
         if (below ? eff >= -opts_.pivot_tol : eff <= opts_.pivot_tol) continue;
-        if (bland) { q = j; break; }  // first (smallest) eligible index
-        const double d = cost_[static_cast<size_t>(j)] - dot_column(j, y_);
+        if (bland) {  // first (smallest) eligible index
+          if (q < 0) q = j;
+          if (!dse) break;  // dse keeps scanning to complete the update set
+          continue;
+        }
+        const double d = dse ? dvals_[static_cast<size_t>(j)]
+                             : cost_[static_cast<size_t>(j)] -
+                                   dot_column(j, y_);
         const double ratio =
             std::max(0.0, dir > 0.0 ? d : -d) / std::abs(alpha);
         if (ratio < best_ratio - 1e-12 ||
@@ -589,6 +764,7 @@ class Simplex {
         // factorization drift. Refactorize and retry the row.
         if (!factorize_current_basis()) return DualOutcome::Abandoned;
         refresh_basics();
+        reprice();
         continue;
       }
       const double dirq =
@@ -603,6 +779,51 @@ class Simplex {
         bland = false;
       }
 
+      if (dse) {
+        // Reference-weight (Devex) update of the steepest-edge weights
+        // (Forrest–Goldfarb): with α = w_ = B⁻¹a_q and pivot α_r,
+        //   β_r' = max(β_r/α_r², 1),
+        //   β_i' = max(β_i, (α_i/α_r)²·β_r)   for α_i ≠ 0,
+        // approximating ‖e_iᵀB⁻¹‖² against the reference framework the
+        // weights were last reset in — no extra FTRAN per pivot (the
+        // exact update needs τ = B⁻¹ρ, a second dense solve that costs
+        // more than the sharper row choice buys back; the profile shows
+        // FTRANs dominating the dual loop). When the row weight outgrows
+        // the framework by 1e6 the weights reset to 1 (fresh framework).
+        const double beta_r = dse_[static_cast<size_t>(r)];
+        const double beta_r_new = std::max(beta_r / (piv * piv), 1.0);
+        if (beta_r_new > 1e6) {
+          std::fill(dse_.begin(), dse_.end(), 1.0);
+        } else {
+          for (int i = 0; i < m_; ++i) {
+            if (i == r) continue;
+            const double ai = w_[static_cast<size_t>(i)];
+            if (ai == 0.0) continue;
+            const double ratio = ai / piv;
+            const double cand_w = ratio * ratio * beta_r;
+            if (cand_w > dse_[static_cast<size_t>(i)]) {
+              dse_[static_cast<size_t>(i)] = cand_w;
+            }
+          }
+          dse_[static_cast<size_t>(r)] = beta_r_new;
+        }
+
+        // Incremental dual step: y' = y + γρ_r zeroes the entering
+        // column's reduced cost; every scanned nonbasic moves by −γα_j,
+        // the leaving variable lands at −γ (its pivot-row alpha is 1).
+        const double gamma = dvals_[static_cast<size_t>(q)] / piv;
+        if (gamma != 0.0) {
+          for (int i = 0; i < m_; ++i) {
+            y_[static_cast<size_t>(i)] += gamma * rho_[static_cast<size_t>(i)];
+          }
+          for (const auto& [j, alpha] : scan_) {
+            dvals_[static_cast<size_t>(j)] -= gamma * alpha;
+          }
+        }
+        dvals_[static_cast<size_t>(leaving)] = -gamma;
+        dvals_[static_cast<size_t>(q)] = 0.0;
+      }
+
       for (int i = 0; i < m_; ++i) {
         xb_[static_cast<size_t>(i)] -= dirq * t * w_[static_cast<size_t>(i)];
       }
@@ -615,10 +836,12 @@ class Simplex {
       if (!kernel_->update(w_, r)) {
         if (!factorize_current_basis()) return DualOutcome::Abandoned;
         refresh_basics();
+        reprice();
       }
 
       if ((iter + 1) % opts_.refresh_interval == 0) {
-        // Same periodic drift control as the primal loop.
+        // Same periodic drift control as the primal loop; the DSE path
+        // also re-certifies its incrementally maintained duals here.
         std::vector<double> saved = xb_;
         refresh_basics();
         double drift = 0.0;
@@ -630,6 +853,7 @@ class Simplex {
           if (!factorize_current_basis()) return DualOutcome::Abandoned;
           refresh_basics();
         }
+        reprice();
       }
     }
     return DualOutcome::Abandoned;
@@ -960,9 +1184,13 @@ class Simplex {
   const LpModel& model_;
   SimplexOptions opts_;
   const Basis* warm_ = nullptr;
+  BasisFactors* kept_ = nullptr;  ///< session's live factors (in/out)
   bool debug_ = std::getenv("OVNES_SIMPLEX_DEBUG") != nullptr;
   int m_, n_;
   bool phase1_ = true;
+  int refactorizations_ = 0;   ///< factorize_columns calls this run
+  bool adopted_kept_ = false;  ///< kept factors adopted without refactorize
+  int kernel_max_updates_ = 0;  ///< kernel's eta/border budget (lean handback)
 
   std::vector<std::vector<std::pair<int, double>>> cols_;  ///< structural cols
   std::vector<double> b_;
@@ -976,6 +1204,9 @@ class Simplex {
   std::vector<std::vector<double>> colsbuf_;  ///< factorize_columns scratch
   std::vector<double> y_, w_;
   std::vector<double> rho_;  ///< dual pivot row buffer (B^{-T} e_r)
+  std::vector<double> dse_;  ///< dual steepest-edge weights (per row slot)
+  std::vector<double> dvals_;  ///< cached reduced costs (DSE incremental path)
+  std::vector<std::pair<int, double>> scan_;  ///< (j, alpha) d-update set
 };
 
 }  // namespace
@@ -983,8 +1214,8 @@ class Simplex {
 namespace detail {
 
 LpResult simplex_solve(const LpModel& model, const SimplexOptions& opts,
-                       const Basis* warm) {
-  return Simplex(model, opts, warm).run();
+                       const Basis* warm, BasisFactors* kept) {
+  return Simplex(model, opts, warm, kept).run();
 }
 
 }  // namespace detail

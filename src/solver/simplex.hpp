@@ -23,6 +23,8 @@
 
 namespace ovnes::solver {
 
+struct BasisFactors;  // solver/basis_lu.hpp — live kernel kept across solves
+
 enum class LpStatus {
   Optimal,
   Infeasible,
@@ -75,8 +77,24 @@ struct LpResult {
   /// True when primal feasibility was restored by the dual simplex
   /// (SimplexOptions::allow_dual) instead of the artificial-repair Phase 1.
   bool used_dual_simplex = false;
+  /// True when the solve adopted a live factorization kept from a previous
+  /// solve (BasisFactors) instead of refactorizing from basis statuses —
+  /// rows appended since the snapshot were absorbed as bordered updates.
+  bool used_kept_factors = false;
+  /// From-scratch basis factorizations performed during this solve (cold
+  /// start, warm-basis adoption without kept factors, eta-limit /
+  /// stability / drift triggers). The kept-factors path exists to drive
+  /// this to ~0 on cut-round re-solves.
+  int refactorizations = 0;
 };
 
+/// \brief Tuning knobs for the revised simplex and its re-solve paths.
+///
+/// The defaults are what the stateless solve_lp entry points use;
+/// LpSession additionally turns on allow_dual (dual-simplex dispatch is
+/// the point of holding a session). keep_factors and dual_steepest_edge
+/// only matter for re-solving callers and exist chiefly so the PR 4
+/// behaviour remains reachable for A/B comparison.
 struct SimplexOptions {
   int max_iterations = 50000;
   double feas_tol = 1e-7;    ///< primal feasibility tolerance
@@ -96,6 +114,23 @@ struct SimplexOptions {
   /// re-solves converge in far fewer iterations. Off by default for the
   /// plain solve_lp entry points (PR 3 behaviour); LpSession turns it on.
   bool allow_dual = false;
+  /// Dual loop row pricing: pick the leaving row by steepest edge in the
+  /// dual norm — violation²/β with β ≈ ‖eᵣᵀB⁻¹‖² maintained per pivot in
+  /// the Forrest–Goldfarb reference-weight (Devex) approximation — instead
+  /// of the plain most-violated row. No extra FTRAN per pivot (the exact
+  /// weight update needs a second dense solve that costs more than its
+  /// sharper row choice buys back on this workload); the same path also
+  /// maintains duals/reduced costs incrementally instead of re-pricing
+  /// every iteration. Entering-column selection keeps the same Bland
+  /// degeneracy fallback. Off restores the PR 4 loop byte-for-byte.
+  bool dual_steepest_edge = true;
+  /// LpSession only: keep the basis factorization alive across solves
+  /// (BasisFactors). A re-solve whose warm basis matches the kept factors
+  /// adopts them verbatim — bound-only deltas pivot straight away, and
+  /// appended cut rows are absorbed as bordered updates — refactorizing
+  /// only on the kernel's own triggers (eta limit, unstable pivot, x_B
+  /// drift) or a basis mismatch. Irrelevant for one-shot solve_lp calls.
+  bool keep_factors = true;
 };
 
 /// Solve `model` (ignoring integrality markers). Thread-compatible: no
@@ -126,10 +161,16 @@ namespace detail {
 
 /// Single-shot engine entry: one simplex run, no warm-failure cold retry.
 /// LpSession (and through it the solve_lp wrappers) layer retry/dispatch
-/// policy on top of this.
+/// policy on top of this. `kept` (optional) is the session's live
+/// factorization: the run moves its kernel in, adopts it when
+/// `kept->basis_order` matches the warm basis (absorbing appended rows as
+/// bordered updates), and moves the kernel back out on every exit —
+/// with `basis_order` refreshed after an Optimal solve and cleared after
+/// anything the next solve must not trust.
 [[nodiscard]] LpResult simplex_solve(const LpModel& model,
                                      const SimplexOptions& opts,
-                                     const Basis* warm);
+                                     const Basis* warm,
+                                     BasisFactors* kept = nullptr);
 
 }  // namespace detail
 

@@ -163,6 +163,139 @@ TEST(BasisKernels, TrulySingularBasisIsStillRejected) {
   EXPECT_FALSE(lu.factorize(cols));
 }
 
+TEST(BasisKernels, FactorizeResizesAcrossDimensions) {
+  // A kernel kept alive in an LpSession gets recycled at whatever size
+  // the model has grown or shrunk to: factorize adopts cols.size().
+  RngStream rng(12);
+  BasisLu lu(4);
+  for (const int m : {4, 9, 3}) {
+    const auto cols = random_basis(m, rng);
+    ASSERT_TRUE(lu.factorize(cols));
+    EXPECT_EQ(lu.dim(), m);
+    BasisLu fresh(m);
+    ASSERT_TRUE(fresh.factorize(cols));
+    const std::vector<double> v = random_vector(m, rng);
+    std::vector<double> a = v, b = v;
+    lu.ftran(a);
+    fresh.ftran(b);
+    EXPECT_LT(max_diff(a, b), 1e-9) << "m=" << m;
+  }
+}
+
+// ------------------------------------------- bordered updates (append_row)
+
+/// Grow `cols` by one bordered row/column: every existing column gains an
+/// entry in the new row (the cut's coefficient on that slot, sparse with
+/// density `p`), and the new column is the unit slack e_new.
+void append_bordered_column(std::vector<std::vector<double>>& cols,
+                            std::vector<std::pair<int, double>>& border,
+                            double p, RngStream& rng) {
+  const int old_m = static_cast<int>(cols.size());
+  border.clear();
+  for (int c = 0; c < old_m; ++c) {
+    double v = 0.0;
+    if (rng.flip(p)) {
+      v = rng.uniform(-2.0, 2.0);
+      border.emplace_back(c, v);
+    }
+    cols[static_cast<size_t>(c)].push_back(v);
+  }
+  std::vector<double> slack(static_cast<size_t>(old_m) + 1, 0.0);
+  slack.back() = 1.0;
+  cols.push_back(std::move(slack));
+}
+
+struct AppendCase {
+  int m;
+  int k;  ///< appended rows
+};
+
+class BorderedAppendBattery : public ::testing::TestWithParam<AppendCase> {};
+
+// The append-row-vs-refactorize battery (ISSUE 5): after k bordered
+// appends interleaved with regular eta pivots, FTRAN and BTRAN through the
+// kept kernel must agree with a from-scratch refactorization of the grown
+// basis within 1e-6 at m ∈ {50, 200, 500}, k ∈ {1, 8, 32}.
+TEST_P(BorderedAppendBattery, FtranBtranMatchRefactorizationAfterAppends) {
+  const auto [m, k] = GetParam();
+  RngStream rng(static_cast<std::uint64_t>(97 + m * 7 + k));
+  auto cols = random_basis(m, rng);
+  BasisKernelOptions opts;
+  opts.max_etas = 2 * k + 8;  // keep the whole battery inside one budget
+  BasisLu lu(m, opts);
+  ASSERT_TRUE(lu.factorize(cols));
+
+  std::vector<std::pair<int, double>> border;
+  for (int a = 0; a < k; ++a) {
+    append_bordered_column(cols, border, 0.2, rng);
+    ASSERT_TRUE(lu.append_row(border)) << "append " << a;
+    ASSERT_EQ(lu.dim(), m + a + 1);
+
+    // Interleave a regular column-replacement pivot so borders and etas
+    // compose in file order, like a dual pivot following a cut append.
+    if (a % 3 == 0) {
+      const int dim = lu.dim();
+      const int r = static_cast<int>(rng.uniform_int(0, dim - 1));
+      std::vector<double> incoming(static_cast<size_t>(dim));
+      for (double& x : incoming) x = rng.uniform(-1.0, 1.0);
+      incoming[static_cast<size_t>(r)] += 4.0;
+      cols[static_cast<size_t>(r)] = incoming;
+      std::vector<double> w = incoming;
+      lu.ftran(w);
+      ASSERT_TRUE(lu.update(w, r)) << "append " << a;
+    }
+  }
+
+  BasisLu fresh(m + k);
+  ASSERT_TRUE(fresh.factorize(cols));
+  for (int rep = 0; rep < 3; ++rep) {
+    const std::vector<double> v = random_vector(m + k, rng);
+    std::vector<double> a = v, b = v;
+    lu.ftran(a);
+    fresh.ftran(b);
+    EXPECT_LT(max_diff(a, b), 1e-6) << "rep " << rep;
+    a = v;
+    b = v;
+    lu.btran(a);
+    fresh.btran(b);
+    EXPECT_LT(max_diff(a, b), 1e-6) << "rep " << rep;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, BorderedAppendBattery,
+    ::testing::Values(AppendCase{50, 1}, AppendCase{50, 8}, AppendCase{50, 32},
+                      AppendCase{200, 1}, AppendCase{200, 8},
+                      AppendCase{200, 32}, AppendCase{500, 1},
+                      AppendCase{500, 8}, AppendCase{500, 32}));
+
+TEST(BasisKernels, AppendRowSharesTheUpdateBudget) {
+  const int m = 6;
+  RngStream rng(21);
+  const auto cols = random_basis(m, rng);
+  BasisKernelOptions opts;
+  opts.max_etas = 2;
+  BasisLu lu(m, opts);
+  ASSERT_TRUE(lu.factorize(cols));
+  EXPECT_TRUE(lu.append_row({{0, 1.0}}));
+  EXPECT_TRUE(lu.append_row({{1, -1.0}, {3, 0.5}}));
+  EXPECT_EQ(lu.updates_since_factorize(), 2);
+  // Budget exhausted: both kinds decline, the caller refactorizes.
+  EXPECT_FALSE(lu.append_row({{2, 1.0}}));
+  std::vector<double> w(static_cast<size_t>(lu.dim()), 0.1);
+  w[0] = 1.0;
+  EXPECT_FALSE(lu.update(w, 0));
+}
+
+TEST(BasisKernels, DenseReferenceDeclinesAppendRow) {
+  const int m = 4;
+  RngStream rng(22);
+  DenseInverseKernel dense(m);
+  ASSERT_TRUE(dense.factorize(random_basis(m, rng)));
+  EXPECT_FALSE(dense.append_row({{0, 1.0}}));  // caller must refactorize
+  EXPECT_EQ(dense.dim(), m);
+}
+
 // ------------------------------------------------- randomized LP battery
 
 LpModel battery_lp(int vars, int rows, std::uint64_t seed) {

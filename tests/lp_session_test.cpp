@@ -307,5 +307,161 @@ TEST(LpSessionInvalidBasis, StaleRowReferencesReportInvalidBasis) {
   EXPECT_EQ(sess.solve().status, LpStatus::Optimal);
 }
 
+// ---------------------------------------------------------------------
+// Kept factorization (ISSUE 5 tentpole): the LU stays alive across
+// solves — appended cuts become bordered updates, bound-only re-solves
+// adopt the incumbent kernel verbatim — so refactorizations collapse
+// compared with the rebuild-per-solve (PR 4) behaviour.
+
+TEST(LpSessionKeptFactors, RefactorizationCountDropsUnderRepeatedAddCut) {
+  const int n = 80;
+  const auto run_cut_loop = [&](bool keep) {
+    LpSession sess(battery_lp(n, n, 7));
+    sess.set_keep_factors(keep);
+    RngStream rng(13);
+    const LpResult* r = &sess.solve();
+    EXPECT_EQ(r->status, LpStatus::Optimal);
+    const long after_first = sess.stats().refactorizations;
+    for (int k = 0; k < 6 && r->status == LpStatus::Optimal; ++k) {
+      std::vector<Coef> coefs;
+      double lhs = 0.0;
+      for (int j = 0; j < n; ++j) {
+        const double a = rng.uniform(0.1, 1.0);
+        coefs.push_back({j, a});
+        lhs += a * r->x[static_cast<size_t>(j)];
+      }
+      sess.add_cut("cut" + std::to_string(k), RowSense::LessEq, 0.8 * lhs,
+                   std::move(coefs));
+      r = &sess.solve();
+      EXPECT_EQ(r->status, LpStatus::Optimal) << "cut " << k;
+    }
+    return std::pair{sess.stats().refactorizations - after_first,
+                     sess.stats().kept_solves};
+  };
+
+  const auto [kept_refacs, kept_solves] = run_cut_loop(true);
+  const auto [rebuild_refacs, rebuild_kept] = run_cut_loop(false);
+  // Rebuild-per-solve factorizes at least once per re-solve; the kept
+  // path absorbs the cuts as borders and refactorizes strictly less.
+  EXPECT_GE(rebuild_refacs, 6);
+  EXPECT_LT(kept_refacs, rebuild_refacs);
+  EXPECT_LT(kept_refacs, 6);
+  // Every re-solve adopted the live factors; the A/B control never does.
+  EXPECT_GE(kept_solves, 6);
+  EXPECT_EQ(rebuild_kept, 0);
+}
+
+TEST(LpSessionKeptFactors, BoundOnlyFramesReuseKernelVerbatim) {
+  // A push()ed frame that only touches bounds, solved and popped: the
+  // restored snapshot marks the same variable set Basic whenever the
+  // re-solve didn't move the basis, and the next solve must then adopt
+  // the incumbent kernel with zero refactorizations.
+  LpSession sess(textbook_lp());
+  ASSERT_EQ(sess.solve().status, LpStatus::Optimal);
+  const double base_obj = sess.last().objective;
+
+  sess.push();
+  sess.set_bounds(0, 0.0, 2.0);  // optimum already at x = 2: basis unmoved
+  ASSERT_EQ(sess.solve().status, LpStatus::Optimal);
+  sess.pop();
+
+  const long refacs_before = sess.stats().refactorizations;
+  const LpResult& restored = sess.solve();
+  ASSERT_EQ(restored.status, LpStatus::Optimal);
+  EXPECT_NEAR(restored.objective, base_obj, 1e-9);
+  EXPECT_TRUE(restored.used_kept_factors);
+  EXPECT_EQ(restored.iterations, 0);
+  EXPECT_EQ(sess.stats().refactorizations, refacs_before);
+}
+
+TEST(LpSessionKeptFactors, SessionMatchesStatelessSolvesWithCutsAndFrames) {
+  // Equivalence guard for the kept-kernel path: a session driven through
+  // cuts, frames, and bound flips stays within 1e-9 of stateless solves
+  // of the equivalent model.
+  LpModel model = battery_lp(60, 60, 31);
+  LpSession sess(model);
+  ASSERT_EQ(sess.solve().status, LpStatus::Optimal);
+
+  RngStream rng(77);
+  for (int k = 0; k < 4; ++k) {
+    std::vector<Coef> coefs;
+    double lhs = 0.0;
+    for (int j = 0; j < model.num_vars(); ++j) {
+      const double a = rng.uniform(0.1, 1.0);
+      coefs.push_back({j, a});
+      lhs += a * sess.last().x[static_cast<size_t>(j)];
+    }
+    const std::string name = "cut" + std::to_string(k);
+    model.add_row(name, RowSense::LessEq, 0.85 * lhs, coefs);
+    sess.add_cut(name, RowSense::LessEq, 0.85 * lhs, std::move(coefs));
+
+    sess.push();
+    sess.set_bounds(k, 0.0, 0.5);
+    LpModel tightened = model;
+    tightened.set_bounds(k, 0.0, 0.5);
+    const LpResult& warm = sess.solve();
+    const LpResult cold = solve_lp(tightened);
+    ASSERT_EQ(warm.status, cold.status) << "cut " << k;
+    if (cold.status == LpStatus::Optimal) {
+      EXPECT_NEAR(warm.objective, cold.objective,
+                  1e-9 * std::max(1.0, std::abs(cold.objective)))
+          << "cut " << k;
+      EXPECT_LT(tightened.max_violation(warm.x), 1e-6);
+    }
+    sess.pop();
+
+    const LpResult& back = sess.solve();
+    const LpResult back_cold = solve_lp(model);
+    ASSERT_EQ(back.status, LpStatus::Optimal);
+    ASSERT_EQ(back_cold.status, LpStatus::Optimal);
+    EXPECT_NEAR(back.objective, back_cold.objective,
+                1e-9 * std::max(1.0, std::abs(back_cold.objective)))
+        << "cut " << k;
+  }
+  // The cut re-solves all rode on the live factors.
+  EXPECT_GE(sess.stats().kept_solves, 4);
+}
+
+// ---------------------------------------------------------------------
+// pop() after a failed solve (ISSUE 5 small fix): the frame restore must
+// bring back the pre-push basis/kernel state, never leave the session on
+// the failed factors.
+
+TEST(LpSessionFrames, PopAfterFailedSolveRestoresFrameSnapshot) {
+  LpSession sess(textbook_lp());
+  const LpResult& base = sess.solve();
+  ASSERT_EQ(base.status, LpStatus::Optimal);
+  const double base_obj = base.objective;
+  const SharedBasis base_basis = sess.basis();
+  ASSERT_NE(base_basis, nullptr);
+
+  // Contradictory cut: x + y >= 100 with x <= 4, 2y <= 12 is infeasible.
+  sess.push();
+  sess.add_cut("impossible", RowSense::GreaterEq, 100.0, {{0, 1.0}, {1, 1.0}});
+  const LpResult& failed = sess.solve();
+  EXPECT_EQ(failed.status, LpStatus::Infeasible);
+  EXPECT_EQ(sess.basis(), nullptr);  // failed solve drops the incumbent
+
+  // pop() restores the frame snapshot: the exact pre-push basis handle,
+  // and a re-solve that warm-verifies the original optimum — it must not
+  // run on the failed factors (which the failed solve invalidated).
+  sess.pop();
+  EXPECT_EQ(sess.basis(), base_basis);
+  const LpResult& restored = sess.solve();
+  ASSERT_EQ(restored.status, LpStatus::Optimal);
+  EXPECT_TRUE(restored.used_warm_start);
+  EXPECT_EQ(restored.iterations, 0);
+  EXPECT_NEAR(restored.objective, base_obj, 1e-12);
+
+  // And the session keeps working for further frames after the recovery.
+  sess.push();
+  sess.add_cut("tight", RowSense::LessEq, 7.0, {{0, 1.0}, {1, 1.0}});
+  ASSERT_EQ(sess.solve().status, LpStatus::Optimal);
+  sess.pop();
+  const LpResult& again = sess.solve();
+  ASSERT_EQ(again.status, LpStatus::Optimal);
+  EXPECT_NEAR(again.objective, base_obj, 1e-9);
+}
+
 }  // namespace
 }  // namespace ovnes::solver
