@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 
 namespace ovnes::solver {
 
@@ -11,91 +12,290 @@ using std::size_t;
 
 }  // namespace
 
+bool BasisKernel::factorize(const std::vector<std::vector<double>>& cols) {
+  SparseMatrix b;
+  b.clear(static_cast<int>(cols.size()));
+  for (const std::vector<double>& col : cols) {
+    for (size_t r = 0; r < col.size(); ++r) {
+      if (col[r] != 0.0) b.push(static_cast<int>(r), col[r]);
+    }
+    b.close_outer();
+  }
+  return factorize(b);
+}
+
 // ----------------------------------------------------------------- BasisLu
 
 BasisLu::BasisLu(int m, const BasisKernelOptions& opts)
     : m_(m), dim_(m), opts_(opts) {
-  const auto mm = static_cast<size_t>(m);
-  lu_.assign(mm * mm, 0.0);
-  perm_.resize(mm);
-  scratch_.resize(mm);
+  x_.resize(static_cast<size_t>(m));
 }
 
-bool BasisLu::factorize(const std::vector<std::vector<double>>& cols) {
-  const auto m = cols.size();
+bool BasisLu::factorize(const SparseMatrix& basis) {
   // Adopt the column count as the new dimension: a kernel kept alive in an
   // LpSession is recycled by refactorizing it at whatever size the model
   // has grown (appended cuts) or shrunk (popped frames) to.
-  m_ = static_cast<int>(m);
+  m_ = basis.outer();
   dim_ = m_;
-  lu_.resize(m * m);
-  perm_.resize(m);
-  scratch_.resize(m);
   updates_.clear();
-  // Row-major working copy a[r][c] = cols[c][r], plus the per-column scale
-  // used for the *relative* singularity test: a pivot is only "too small"
-  // when it is tiny compared to its own column, not on an absolute scale.
-  std::vector<double> scale(m, 0.0);
-  for (size_t c = 0; c < m; ++c) {
-    const std::vector<double>& col = cols[c];
-    for (size_t r = 0; r < m; ++r) {
-      lu_[r * m + c] = col[r];
-      scale[c] = std::max(scale[c], std::abs(col[r]));
+  const auto m = static_cast<size_t>(m_);
+  x_.resize(m);
+  p_.resize(m);
+  q_.resize(m);
+  udiag_.resize(m);
+  pinv_.resize(m);
+  mark_.assign(m, 0);
+  xnum_.assign(m, 0.0);
+  dfs_stack_.resize(m);
+  dfs_pos_.resize(m);
+  topo_.clear();
+  topo_.reserve(m);
+  // Per-column scale for the *relative* singularity / threshold test and
+  // static row counts for the Markowitz tie-break (sparsest eligible row).
+  colscale_.assign(m, 0.0);
+  rowcount_.assign(m, 0);
+  for (int j = 0; j < m_; ++j) {
+    for (int pp = basis.begin(j); pp < basis.end(j); ++pp) {
+      const auto pu = static_cast<size_t>(pp);
+      colscale_[static_cast<size_t>(j)] = std::max(
+          colscale_[static_cast<size_t>(j)], std::abs(basis.val[pu]));
+      ++rowcount_[static_cast<size_t>(basis.ind[pu])];
     }
   }
-  for (size_t k = 0; k < m; ++k) perm_[k] = static_cast<int>(k);
 
-  for (size_t k = 0; k < m; ++k) {
-    // Partial pivoting over the remaining rows of column k.
-    size_t p = k;
-    double mag = std::abs(lu_[k * m + k]);
-    for (size_t r = k + 1; r < m; ++r) {
-      const double v = std::abs(lu_[r * m + k]);
-      if (v > mag) { mag = v; p = r; }
+  // Column preorder: singletons (slack/unit columns) first, then ascending
+  // nonzero count — the cheap approximation of Markowitz ordering that is
+  // exact on the slack-heavy bases Benders masters produce.
+  std::vector<int> order(m);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return basis.end(a) - basis.begin(a) < basis.end(b) - basis.begin(b);
+  });
+
+  double fill = 0.0;
+  if (!eliminate(basis, order, opts_.markowitz_tol, &fill)) return false;
+  if (fill > opts_.max_fill_ratio && m_ > 1) {
+    // Fill blowup: re-order instead of silently keeping densified factors.
+    // Second attempt orders columns by the static Markowitz product
+    // (colnnz−1)·(sparsest row in column − 1) and loosens the pivot
+    // threshold tenfold, giving the row choice more freedom to chase
+    // sparsity; element growth stays bounded by the relative
+    // singularity test.
+    ++stats_.reorderings;
+    std::vector<long> product(m, 0);
+    for (int j = 0; j < m_; ++j) {
+      int rmin = m_;
+      for (int pp = basis.begin(j); pp < basis.end(j); ++pp) {
+        rmin = std::min(
+            rmin, rowcount_[static_cast<size_t>(
+                      basis.ind[static_cast<size_t>(pp)])]);
+      }
+      const long cn = basis.end(j) - basis.begin(j);
+      product[static_cast<size_t>(j)] =
+          (cn - 1) * static_cast<long>(std::max(0, rmin - 1));
     }
-    if (scale[k] == 0.0 || mag <= opts_.pivot_tol * scale[k]) return false;
-    if (p != k) {
-      for (size_t c = 0; c < m; ++c) std::swap(lu_[p * m + c], lu_[k * m + c]);
-      std::swap(perm_[p], perm_[k]);
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+      return product[static_cast<size_t>(a)] < product[static_cast<size_t>(b)];
+    });
+    double refill = 0.0;
+    if (!eliminate(basis, order, 0.1 * opts_.markowitz_tol, &refill)) {
+      return false;
     }
-    const double piv = lu_[k * m + k];
-    double* krow = &lu_[k * m];
-    for (size_t r = k + 1; r < m; ++r) {
-      double* rrow = &lu_[r * m];
-      const double f = rrow[k] / piv;
-      rrow[k] = f;
-      if (f == 0.0) continue;
-      for (size_t c = k + 1; c < m; ++c) rrow[c] -= f * krow[c];
-    }
+    fill = refill;
   }
+
+  // Transposes give BTRAN the same skip-zero-columns sweep FTRAN gets from
+  // L_/U_ directly.
+  transpose(L_, Lt_);
+  transpose(U_, Ut_);
+
+  ++stats_.factorizations;
+  stats_.factor_nnz = L_.nnz() + U_.nnz() + m_;
+  stats_.fill_ratio =
+      static_cast<double>(stats_.factor_nnz) /
+      static_cast<double>(std::max<long>(1, basis.nnz()));
+  stats_.max_fill_ratio = std::max(stats_.max_fill_ratio, stats_.fill_ratio);
+  return true;
+}
+
+bool BasisLu::eliminate(const SparseMatrix& basis,
+                        const std::vector<int>& order, double tau,
+                        double* fill_ratio) {
+  std::fill(pinv_.begin(), pinv_.end(), -1);
+  L_.clear(m_);
+  U_.clear(m_);
+
+  for (int k = 0; k < m_; ++k) {
+    const int j = order[static_cast<size_t>(k)];
+
+    // --- Symbolic: the pattern of x = L⁻¹·B(:,j) is the set of nodes
+    // reachable from B(:,j)'s nonzeros in the DAG of the partially built L
+    // (node = original row; pivotal rows link to their L column). The DFS
+    // emits nodes in postorder; processing topo_ in reverse gives a valid
+    // elimination order.
+    topo_.clear();
+    for (int pp = basis.begin(j); pp < basis.end(j); ++pp) {
+      int node = basis.ind[static_cast<size_t>(pp)];
+      if (mark_[static_cast<size_t>(node)]) continue;
+      int top = 0;
+      dfs_stack_[0] = node;
+      dfs_pos_[0] = pinv_[static_cast<size_t>(node)] >= 0
+                        ? L_.begin(pinv_[static_cast<size_t>(node)])
+                        : 0;
+      mark_[static_cast<size_t>(node)] = 1;
+      while (top >= 0) {
+        const int i = dfs_stack_[static_cast<size_t>(top)];
+        const int kk = pinv_[static_cast<size_t>(i)];
+        const int pend = kk >= 0 ? L_.end(kk) : 0;
+        bool descended = false;
+        while (dfs_pos_[static_cast<size_t>(top)] < pend) {
+          const int child =
+              L_.ind[static_cast<size_t>(dfs_pos_[static_cast<size_t>(top)]++)];
+          if (mark_[static_cast<size_t>(child)]) continue;
+          mark_[static_cast<size_t>(child)] = 1;
+          ++top;
+          dfs_stack_[static_cast<size_t>(top)] = child;
+          dfs_pos_[static_cast<size_t>(top)] =
+              pinv_[static_cast<size_t>(child)] >= 0
+                  ? L_.begin(pinv_[static_cast<size_t>(child)])
+                  : 0;
+          descended = true;
+          break;
+        }
+        if (descended) continue;
+        topo_.push_back(i);
+        --top;
+      }
+    }
+
+    // --- Numeric: scatter B(:,j), then eliminate along the reach in
+    // topological (reverse-postorder) order.
+    for (int pp = basis.begin(j); pp < basis.end(j); ++pp) {
+      xnum_[static_cast<size_t>(basis.ind[static_cast<size_t>(pp)])] =
+          basis.val[static_cast<size_t>(pp)];
+    }
+    for (size_t t = topo_.size(); t-- > 0;) {
+      const int i = topo_[t];
+      const int kk = pinv_[static_cast<size_t>(i)];
+      if (kk < 0) continue;  // not yet pivotal: no column to eliminate with
+      const double xi = xnum_[static_cast<size_t>(i)];
+      if (xi == 0.0) continue;
+      for (int pp = L_.begin(kk); pp < L_.end(kk); ++pp) {
+        xnum_[static_cast<size_t>(L_.ind[static_cast<size_t>(pp)])] -=
+            L_.val[static_cast<size_t>(pp)] * xi;
+      }
+    }
+
+    // --- Pivot: among not-yet-pivotal rows, the sparsest whose magnitude
+    // clears tau·(column max); ties toward the larger magnitude.
+    double colmax = 0.0;
+    for (const int i : topo_) {
+      if (pinv_[static_cast<size_t>(i)] < 0) {
+        colmax = std::max(colmax, std::abs(xnum_[static_cast<size_t>(i)]));
+      }
+    }
+    const double scale = colscale_[static_cast<size_t>(j)];
+    if (scale == 0.0 || colmax <= opts_.pivot_tol * scale) {
+      // Singular (or empty) column: clean the workspace and give up.
+      for (const int i : topo_) {
+        mark_[static_cast<size_t>(i)] = 0;
+        xnum_[static_cast<size_t>(i)] = 0.0;
+      }
+      return false;
+    }
+    const double threshold =
+        std::max(tau * colmax, opts_.pivot_tol * scale);
+    int piv_row = -1;
+    int piv_count = m_ + 1;
+    double piv_mag = 0.0;
+    for (const int i : topo_) {
+      if (pinv_[static_cast<size_t>(i)] >= 0) continue;
+      const double mag = std::abs(xnum_[static_cast<size_t>(i)]);
+      if (mag < threshold) continue;
+      const int rc = rowcount_[static_cast<size_t>(i)];
+      if (rc < piv_count || (rc == piv_count && mag > piv_mag)) {
+        piv_count = rc;
+        piv_mag = mag;
+        piv_row = i;
+      }
+    }
+    const double piv = xnum_[static_cast<size_t>(piv_row)];
+
+    // --- Emit column k of the factors. U entries live in pivot
+    // coordinates already (row = pinv of an eliminated row); L entries
+    // keep original row indices until the end-of-factorization renumber.
+    for (const int i : topo_) {
+      const int kk = pinv_[static_cast<size_t>(i)];
+      const double v = xnum_[static_cast<size_t>(i)];
+      if (kk >= 0) {
+        if (v != 0.0) U_.push(kk, v);
+      } else if (i != piv_row && v != 0.0) {
+        L_.push(i, v / piv);
+      }
+      mark_[static_cast<size_t>(i)] = 0;
+      xnum_[static_cast<size_t>(i)] = 0.0;
+    }
+    U_.close_outer();
+    L_.close_outer();
+    udiag_[static_cast<size_t>(k)] = piv;
+    pinv_[static_cast<size_t>(piv_row)] = k;
+    p_[static_cast<size_t>(k)] = piv_row;
+    q_[static_cast<size_t>(k)] = j;
+  }
+
+  // Renumber L into pivot coordinates (every entry's row pivoted later
+  // than its column, so L is strictly lower triangular there).
+  for (size_t pp = 0; pp < L_.ind.size(); ++pp) {
+    L_.ind[pp] = pinv_[static_cast<size_t>(L_.ind[pp])];
+  }
+  *fill_ratio = static_cast<double>(L_.nnz() + U_.nnz() + m_) /
+                static_cast<double>(std::max<long>(1, basis.nnz()));
   return true;
 }
 
 void BasisLu::ftran(std::vector<double>& v) const {
   const auto m = static_cast<size_t>(m_);
   // Base solve on the first m_ entries (entries beyond m_ belong to
-  // bordered rows, which the base factors treat as an identity block):
-  // x = P v, then L x = x (forward, unit diagonal), then U x = x (backward).
+  // bordered rows, which the base factors treat as an identity block).
+  // B = Pᵀ·L·U·Qᵀ: permute (x = Pv), L then U column sweeps, permute back.
+  // Sweeps skip columns whose solution entry is exactly zero — a
+  // hypersparse right-hand side (unit slack column) only pays for the
+  // columns it actually reaches.
   if (m != 0) {
-    std::vector<double>& x = scratch_;
-    size_t first = m;  // leading zeros of Pv stay zero through the L solve
+    std::vector<double>& x = x_;
     for (size_t k = 0; k < m; ++k) {
-      x[k] = v[static_cast<size_t>(perm_[k])];
-      if (first == m && x[k] != 0.0) first = k;
+      x[k] = v[static_cast<size_t>(p_[k])];
     }
-    for (size_t k = first + 1; k < m; ++k) {
-      const double* row = &lu_[k * m];
-      double s = x[k];
-      for (size_t j = first; j < k; ++j) s -= row[j] * x[j];
-      x[k] = s;
+    long skipped = 0;
+    for (int k = 0; k < m_; ++k) {
+      const double xk = x[static_cast<size_t>(k)];
+      if (xk == 0.0) {
+        ++skipped;
+        continue;
+      }
+      for (int pp = L_.begin(k); pp < L_.end(k); ++pp) {
+        x[static_cast<size_t>(L_.ind[static_cast<size_t>(pp)])] -=
+            L_.val[static_cast<size_t>(pp)] * xk;
+      }
     }
-    for (size_t k = m; k-- > 0;) {
-      const double* row = &lu_[k * m];
-      double s = x[k];
-      for (size_t j = k + 1; j < m; ++j) s -= row[j] * x[j];
-      x[k] = s / row[k];
+    for (int k = m_; k-- > 0;) {
+      double xk = x[static_cast<size_t>(k)];
+      if (xk == 0.0) {
+        ++skipped;
+        continue;
+      }
+      xk /= udiag_[static_cast<size_t>(k)];
+      x[static_cast<size_t>(k)] = xk;
+      for (int pp = U_.begin(k); pp < U_.end(k); ++pp) {
+        x[static_cast<size_t>(U_.ind[static_cast<size_t>(pp)])] -=
+            U_.val[static_cast<size_t>(pp)] * xk;
+      }
     }
-    std::copy(x.begin(), x.end(), v.begin());
+    for (size_t k = 0; k < m; ++k) {
+      v[static_cast<size_t>(q_[k])] = x[k];
+    }
+    ++stats_.solves;
+    if (skipped > m_) ++stats_.hypersparse_hits;
   }
   // Product-form updates, oldest first: B = B₀U₁…U_K ⇒ B⁻¹ = U_K⁻¹…U₁⁻¹B₀⁻¹.
   for (const Update& u : updates_) {
@@ -117,7 +317,7 @@ void BasisLu::ftran(std::vector<double>& v) const {
 
 void BasisLu::btran(std::vector<double>& v) const {
   // B⁻ᵀ = B₀⁻ᵀ U₁⁻ᵀ … U_K⁻ᵀ: apply update transposes newest first, then the
-  // LU transpose solve on the first m_ entries.
+  // base solve on the first m_ entries.
   for (auto it = updates_.rbegin(); it != updates_.rend(); ++it) {
     const Update& u = *it;
     if (u.kind == Update::Kind::Border) {
@@ -135,23 +335,45 @@ void BasisLu::btran(std::vector<double>& v) const {
   }
   const auto m = static_cast<size_t>(m_);
   if (m == 0) return;
-  // B₀ = Pᵀ L U ⇒ B₀ᵀ y = v solved as Uᵀ a = v, Lᵀ c = a, y = Pᵀ c.
-  // Both sweeps stream row j of lu_ (saxpy form) to stay cache-friendly.
-  std::vector<double>& a = scratch_;
-  for (size_t j = 0; j < m; ++j) {
-    const double* row = &lu_[j * m];
-    const double aj = v[j] / row[j];
-    a[j] = aj;
-    if (aj == 0.0) continue;
-    for (size_t k = j + 1; k < m; ++k) v[k] -= aj * row[k];
+  // Bᵀ = Q·Uᵀ·Lᵀ·P: permute (x = Qᵀv), forward sweep over Uᵀ (stored as
+  // Ut_), backward sweep over Lᵀ (stored as Lt_), permute back. Same
+  // skip-zero-columns short-circuit as ftran — a single-row BTRAN (dual
+  // pivot-row pricing) touches only the columns its row reaches.
+  std::vector<double>& x = x_;
+  for (size_t k = 0; k < m; ++k) {
+    x[k] = v[static_cast<size_t>(q_[k])];
   }
-  for (size_t j = m; j-- > 0;) {
-    const double* row = &lu_[j * m];
-    const double cj = a[j];
-    if (cj == 0.0) continue;
-    for (size_t k = 0; k < j; ++k) a[k] -= cj * row[k];
+  long skipped = 0;
+  for (int k = 0; k < m_; ++k) {
+    double xk = x[static_cast<size_t>(k)];
+    if (xk == 0.0) {
+      ++skipped;
+      continue;
+    }
+    xk /= udiag_[static_cast<size_t>(k)];
+    x[static_cast<size_t>(k)] = xk;
+    if (xk == 0.0) continue;
+    for (int pp = Ut_.begin(k); pp < Ut_.end(k); ++pp) {
+      x[static_cast<size_t>(Ut_.ind[static_cast<size_t>(pp)])] -=
+          Ut_.val[static_cast<size_t>(pp)] * xk;
+    }
   }
-  for (size_t k = 0; k < m; ++k) v[static_cast<size_t>(perm_[k])] = a[k];
+  for (int k = m_; k-- > 0;) {
+    const double xk = x[static_cast<size_t>(k)];
+    if (xk == 0.0) {
+      ++skipped;
+      continue;
+    }
+    for (int pp = Lt_.begin(k); pp < Lt_.end(k); ++pp) {
+      x[static_cast<size_t>(Lt_.ind[static_cast<size_t>(pp)])] -=
+          Lt_.val[static_cast<size_t>(pp)] * xk;
+    }
+  }
+  for (size_t k = 0; k < m; ++k) {
+    v[static_cast<size_t>(p_[k])] = x[k];
+  }
+  ++stats_.solves;
+  if (skipped > m_) ++stats_.hypersparse_hits;
 }
 
 bool BasisLu::update(const std::vector<double>& w, int leaving_row) {
@@ -180,7 +402,7 @@ bool BasisLu::append_row(
     const std::vector<std::pair<int, double>>& row_on_basis) {
   // Borders share the eta budget: each adds the same O(nnz) term to every
   // subsequent ftran/btran, so past the limit a refactorization (which
-  // folds them all back into dense LU factors) is the cheaper steady state.
+  // folds them all back into the LU factors) is the cheaper steady state.
   if (static_cast<int>(updates_.size()) >= opts_.max_etas) return false;
   Update u;
   u.kind = Update::Kind::Border;
@@ -206,15 +428,18 @@ DenseInverseKernel::DenseInverseKernel(int m, const BasisKernelOptions& opts)
   scratch_.resize(mm);
 }
 
-bool DenseInverseKernel::factorize(
-    const std::vector<std::vector<double>>& cols) {
-  const auto m = cols.size();
+bool DenseInverseKernel::factorize(const SparseMatrix& basis) {
+  const auto m = static_cast<size_t>(basis.outer());
   m_ = static_cast<int>(m);
   binv_.resize(m * m);
   scratch_.resize(m);
   std::vector<double> a(m * m, 0.0);
   for (size_t c = 0; c < m; ++c) {
-    for (size_t r = 0; r < m; ++r) a[r * m + c] = cols[c][r];
+    for (int pp = basis.begin(static_cast<int>(c));
+         pp < basis.end(static_cast<int>(c)); ++pp) {
+      a[static_cast<size_t>(basis.ind[static_cast<size_t>(pp)]) * m + c] =
+          basis.val[static_cast<size_t>(pp)];
+    }
   }
   std::fill(binv_.begin(), binv_.end(), 0.0);
   for (size_t i = 0; i < m; ++i) binv_[i * m + i] = 1.0;

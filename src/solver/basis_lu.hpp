@@ -3,7 +3,7 @@
 // The simplex needs four operations on the basis matrix B (m×m, columns
 // drawn from [A | I | ±I]):
 //
-//   factorize(cols)        rebuild the factorization from scratch,
+//   factorize(basis)       rebuild the factorization from scratch,
 //   ftran(v)               v := B⁻¹ v   (entering column, x_B refresh),
 //   btran(v)               v := B⁻ᵀ v   (duals, tableau rows),
 //   update(w, r)           replace basis column r; w = B⁻¹ a_entering.
@@ -16,17 +16,30 @@
 //
 // Two implementations share that interface:
 //
-//  * BasisLu — LU with partial pivoting plus product-form (eta) updates.
-//    Refactorization is O(m³/3); each pivot appends an O(nnz(w)) eta vector
-//    instead of touching all m² entries of an explicit inverse, and the
-//    kernel asks for a refactorization (update() returning false) once the
-//    update file grows past `max_etas` or a pivot is too small relative to
-//    ‖w‖∞ to be applied stably. A bordered append is one more entry in the
-//    same update file with an exact ±1 pivot (the slack column), so a cut
-//    round costs O(nnz(cut)) instead of an O(m³/3) refactorization.
-//    Singularity during factorization is judged per column *relative to
-//    that column's magnitude* so badly scaled but perfectly regular bases
-//    (e.g. 1e-10-coefficient rows next to 1e7 capacities) are not rejected.
+//  * BasisLu — sparse LU (Gilbert–Peierls left-looking elimination with
+//    threshold-Markowitz pivoting) plus product-form (eta) updates. Columns
+//    are eliminated singletons-first (a slack-heavy Benders master basis is
+//    mostly free), each column's pattern is predicted by a depth-first
+//    reach over the partially built L, and the row pivot is the sparsest
+//    row whose magnitude clears `markowitz_tol` relative to the column —
+//    so factorization and the triangular solves cost O(nnz + fill), not
+//    O(m³)/O(m²). FTRAN and BTRAN sweep the stored factors (and their
+//    transposes) column-wise and skip columns whose solution entry is
+//    exactly zero, which short-circuits hypersparse right-hand sides (a
+//    unit slack column, a single-row BTRAN for dual pricing) to the few
+//    columns actually reachable. When the fill ratio of a factorization
+//    exceeds `max_fill_ratio` the kernel re-orders — it retries with a
+//    Markowitz-product column order and a looser pivot threshold — instead
+//    of silently densifying; stats() reports the fill and the retries.
+//    Each pivot appends an O(nnz(w)) eta vector; the kernel asks for a
+//    refactorization (update() returning false) once the update file grows
+//    past `max_etas` or a pivot is too small relative to ‖w‖∞ to be
+//    applied stably. A bordered append is one more entry in the same
+//    update file with an exact ±1 pivot (the slack column), so a cut round
+//    costs O(nnz(cut)) instead of a refactorization. Singularity during
+//    factorization is judged per column *relative to that column's
+//    magnitude* so badly scaled but perfectly regular bases (e.g.
+//    1e-10-coefficient rows next to 1e7 capacities) are not rejected.
 //
 //  * DenseInverseKernel — the pre-LU explicit dense B⁻¹ maintained by
 //    Gauss–Jordan pivots, retained as a reference baseline for tests and
@@ -38,6 +51,8 @@
 #include <memory>
 #include <utility>
 #include <vector>
+
+#include "solver/sparse.hpp"
 
 namespace ovnes::solver {
 
@@ -56,6 +71,33 @@ struct BasisKernelOptions {
   /// BasisLu: decline update() (forcing refactorization) when the pivot is
   /// smaller than this fraction of ‖w‖∞.
   double stability_tol = 1e-8;
+  /// BasisLu: threshold-Markowitz pivoting. A row is an eligible pivot when
+  /// its magnitude is at least this fraction of the column's largest
+  /// eliminated magnitude; among eligible rows the sparsest (fewest basis
+  /// nonzeros) wins. 1.0 degenerates to partial pivoting (stablest, most
+  /// fill), smaller values trade a bounded element-growth risk for
+  /// sparsity.
+  double markowitz_tol = 0.1;
+  /// BasisLu: when nnz(L+U)/nnz(B) exceeds this after a factorization, the
+  /// kernel re-orders (Markowitz-product column order, looser threshold)
+  /// and refactorizes instead of keeping the densified factors.
+  double max_fill_ratio = 16.0;
+};
+
+/// \brief Counters a kernel reports about its own numerical work. BasisLu
+/// maintains all of them; kernels without a concept of fill (the dense
+/// reference) return the default zeros. Cumulative over the kernel's
+/// lifetime except where noted — a kernel kept alive in an LpSession
+/// accumulates across solves, and callers diff snapshots for per-solve
+/// figures.
+struct KernelStats {
+  long factor_nnz = 0;       ///< nnz(L)+nnz(U) at the last factorization
+  double fill_ratio = 0.0;   ///< factor_nnz / nnz(B) at the last factorization
+  double max_fill_ratio = 0.0;  ///< worst fill_ratio seen (lifetime)
+  long factorizations = 0;   ///< successful factorize() calls
+  long reorderings = 0;      ///< factorizations that re-ordered on fill blowup
+  long solves = 0;           ///< ftran() + btran() calls
+  long hypersparse_hits = 0; ///< solves that skipped > half their sweep columns
 };
 
 /// \brief Pluggable basis factorization behind the revised simplex.
@@ -69,15 +111,19 @@ class BasisKernel {
  public:
   virtual ~BasisKernel() = default;
 
-  /// \brief Rebuild the factorization from the basis columns.
+  /// \brief Rebuild the factorization from the basis matrix in CSC form
+  /// (column k of `basis` is basis column k; basis.n_inner == outer()).
   ///
-  /// cols[j] is dense column j, size cols.size(); the kernel adopts
-  /// cols.size() as its new dimension (this is how a kernel kept alive
-  /// across LpSession solves is recycled after the model grew or shrank).
-  /// Returns false when B is numerically singular; the kernel state is
-  /// then unusable until a successful factorize.
-  [[nodiscard]] virtual bool factorize(
-      const std::vector<std::vector<double>>& cols) = 0;
+  /// The kernel adopts basis.outer() as its new dimension (this is how a
+  /// kernel kept alive across LpSession solves is recycled after the model
+  /// grew or shrank). Returns false when B is numerically singular; the
+  /// kernel state is then unusable until a successful factorize.
+  [[nodiscard]] virtual bool factorize(const SparseMatrix& basis) = 0;
+
+  /// \brief Dense-columns convenience overload (tests, small callers):
+  /// compresses `cols` (cols[j] is dense column j, size cols.size()) and
+  /// forwards to the sparse factorize.
+  [[nodiscard]] bool factorize(const std::vector<std::vector<double>>& cols);
 
   /// \brief v := B⁻¹ v (v.size() == dim()).
   virtual void ftran(std::vector<double>& v) const = 0;
@@ -121,16 +167,21 @@ class BasisKernel {
   /// LpSession is re-adopted by a solve whose model size implies a
   /// different eta budget).
   virtual void set_options(const BasisKernelOptions& opts) = 0;
+
+  /// \brief Fill / sparsity counters (see KernelStats); zeros for kernels
+  /// that do not track them.
+  [[nodiscard]] virtual KernelStats stats() const { return {}; }
 };
 
-/// \brief LU factorization with partial pivoting + product-form updates
-/// (etas and bordered row appends).
+/// \brief Sparse LU (Gilbert–Peierls, threshold-Markowitz pivoting) with
+/// hypersparse triangular solves and product-form updates (etas and
+/// bordered row appends).
 class BasisLu final : public BasisKernel {
  public:
   explicit BasisLu(int m, const BasisKernelOptions& opts = {});
 
-  [[nodiscard]] bool factorize(
-      const std::vector<std::vector<double>>& cols) override;
+  using BasisKernel::factorize;
+  [[nodiscard]] bool factorize(const SparseMatrix& basis) override;
   void ftran(std::vector<double>& v) const override;
   void btran(std::vector<double>& v) const override;
   [[nodiscard]] bool update(const std::vector<double>& w,
@@ -142,6 +193,7 @@ class BasisLu final : public BasisKernel {
     return static_cast<int>(updates_.size());
   }
   void set_options(const BasisKernelOptions& opts) override { opts_ = opts; }
+  [[nodiscard]] KernelStats stats() const override { return stats_; }
 
  private:
   /// One product-form update. Two kinds:
@@ -158,13 +210,32 @@ class BasisLu final : public BasisKernel {
     std::vector<std::pair<int, double>> col;
   };
 
+  /// One Gilbert–Peierls elimination pass over `basis` with the given
+  /// column order and relative pivot threshold. Fills L_/U_/udiag_/p_/q_
+  /// (L_/U_ row indices in pivot coordinates) and reports the fill ratio.
+  [[nodiscard]] bool eliminate(const SparseMatrix& basis,
+                               const std::vector<int>& order, double tau,
+                               double* fill_ratio);
+
   int m_;    ///< dimension of the LU factors (at last factorize)
   int dim_;  ///< m_ plus bordered appends absorbed since
   BasisKernelOptions opts_;
-  std::vector<double> lu_;   ///< m×m row-major; unit-L below diag, U on/above
-  std::vector<int> perm_;    ///< lu_ row k corresponds to original row perm_[k]
+  // B = Pᵀ·L·U·Qᵀ in pivot coordinates: the k-th pivot eliminated original
+  // column q_[k] against original row p_[k]. L_ holds the strict lower
+  // part (unit diagonal implicit), U_ the strict upper part with the
+  // diagonal split into udiag_; Lt_/Ut_ are their transposes so both
+  // FTRAN and BTRAN run as forward/backward column sweeps that skip
+  // columns whose solution entry is zero (the hypersparse short-circuit).
+  SparseMatrix L_, U_, Lt_, Ut_;
+  std::vector<double> udiag_;
+  std::vector<int> p_, q_;
   std::vector<Update> updates_;  ///< applied in order after the LU solve
-  mutable std::vector<double> scratch_;  ///< solve buffer (no per-call alloc)
+  mutable KernelStats stats_;    ///< solve counters bump in const ftran/btran
+  mutable std::vector<double> x_;  ///< solve buffer (no per-call alloc)
+  // Elimination workspaces (factorize-only, kept allocated across calls).
+  std::vector<int> pinv_, topo_, dfs_stack_, dfs_pos_, rowcount_;
+  std::vector<char> mark_;
+  std::vector<double> xnum_, colscale_;
 };
 
 /// \brief Explicit dense B⁻¹ maintained by Gauss–Jordan pivots (reference
@@ -173,8 +244,8 @@ class DenseInverseKernel final : public BasisKernel {
  public:
   explicit DenseInverseKernel(int m, const BasisKernelOptions& opts = {});
 
-  [[nodiscard]] bool factorize(
-      const std::vector<std::vector<double>>& cols) override;
+  using BasisKernel::factorize;
+  [[nodiscard]] bool factorize(const SparseMatrix& basis) override;
   void ftran(std::vector<double>& v) const override;
   void btran(std::vector<double>& v) const override;
   [[nodiscard]] bool update(const std::vector<double>& w,
@@ -204,6 +275,12 @@ class DenseInverseKernel final : public BasisKernel {
 struct BasisFactors {
   std::unique_ptr<BasisKernel> kernel;
   std::vector<int> basis_order;  ///< column index per slot; empty = stale
+  /// Dual steepest-edge weights per basis slot, snapshotted when a solve
+  /// ends Optimal straight out of the dual loop (no primal pivots since).
+  /// A re-solve that adopts the factors resumes DSE pricing from these
+  /// instead of resetting to the reference framework (all ones); empty
+  /// whenever the weights no longer describe the handed-back basis.
+  std::vector<double> dse_weights;
   int num_vars = 0;              ///< structural vars at snapshot time
   int num_rows = 0;              ///< model rows at snapshot time (== dim)
   bool dense = false;            ///< kernel is the dense reference

@@ -41,12 +41,13 @@ int LpModel::add_row(std::string name, RowSense sense, double rhs,
     }
     merged[c.var] += c.value;
   }
-  std::vector<Coef> clean;
-  clean.reserve(merged.size());
   for (const auto& [var, value] : merged) {
-    if (value != 0.0) clean.push_back({var, value});
+    if (value != 0.0) coefs_.push_back({var, value});
   }
-  rows_.push_back(Rowdef{std::move(name), sense, rhs, std::move(clean)});
+  row_ptr_.push_back(static_cast<int>(coefs_.size()));
+  row_names_.push_back(std::move(name));
+  row_senses_.push_back(sense);
+  row_rhs_.push_back(rhs);
   return num_rows() - 1;
 }
 
@@ -54,7 +55,12 @@ void LpModel::truncate_rows(int num_rows) {
   if (num_rows < 0 || num_rows > this->num_rows()) {
     throw std::out_of_range("LpModel: truncate_rows beyond current rows");
   }
-  rows_.resize(static_cast<size_t>(num_rows));
+  const auto nr = static_cast<size_t>(num_rows);
+  coefs_.resize(static_cast<size_t>(row_ptr_[nr]));
+  row_ptr_.resize(nr + 1);
+  row_names_.resize(nr);
+  row_senses_.resize(nr);
+  row_rhs_.resize(nr);
 }
 
 void LpModel::set_bounds(int var, double lower, double upper) {
@@ -83,7 +89,8 @@ double LpModel::objective_value(const std::vector<double>& x) const {
 
 double LpModel::max_violation(const std::vector<double>& x) const {
   double worst = 0.0;
-  for (const Rowdef& r : rows_) {
+  for (int i = 0; i < num_rows(); ++i) {
+    const RowView r = row(i);
     double lhs = 0.0;
     for (const Coef& c : r.coefs) lhs += c.value * x[static_cast<size_t>(c.var)];
     double v = 0.0;

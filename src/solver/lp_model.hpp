@@ -10,9 +10,18 @@
 //  * rows are a·x {<=,>=,==} rhs;
 //  * every variable must have at least one finite bound (the AC-RR models
 //    are naturally box-bounded).
+//
+// Storage is compressed sparse row (CSR): one flat Coef array indexed by
+// a row-offset table, plus per-row metadata. Appending a row (a Benders
+// cut) extends the flat arrays; truncate_rows is a resize; row(i) hands
+// out a zero-copy RowView over the compressed storage. The simplex builds
+// its CSC column view from this with one counting sort per solve
+// (solver/sparse.hpp) — no per-row heap allocations anywhere on the
+// model-mutation or solve paths.
 #pragma once
 
 #include <limits>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -36,11 +45,22 @@ struct Variable {
   int branch_priority = 0;  ///< lower value = branched on earlier
 };
 
+/// Row assembly DTO for add_row/add_cut callers (kept from the
+/// row-of-vectors era; the model compresses it on ingest).
 struct Rowdef {
   std::string name;
   RowSense sense = RowSense::LessEq;
   double rhs = 0.0;
   std::vector<Coef> coefs;
+};
+
+/// \brief Zero-copy view of one compressed row. Valid until the next
+/// mutating call on the owning model (add_row invalidates on growth).
+struct RowView {
+  const std::string& name;
+  RowSense sense;
+  double rhs;
+  std::span<const Coef> coefs;  ///< sorted by var, duplicates merged
 };
 
 class LpModel {
@@ -56,7 +76,8 @@ class LpModel {
 
   /// Drop every row with index >= `num_rows`, restoring the state before a
   /// run of add_row calls. Powers LpSession's scoped delta frames (cuts
-  /// appended inside a push() are discarded by the matching pop()).
+  /// appended inside a push() are discarded by the matching pop()). A
+  /// resize of the compressed arrays: O(1) bookkeeping, no repacking.
   void truncate_rows(int num_rows);
 
   /// Adjust an existing variable's objective coefficient.
@@ -64,11 +85,18 @@ class LpModel {
   void set_bounds(int var, double lower, double upper);
 
   [[nodiscard]] int num_vars() const { return static_cast<int>(vars_.size()); }
-  [[nodiscard]] int num_rows() const { return static_cast<int>(rows_.size()); }
+  [[nodiscard]] int num_rows() const { return static_cast<int>(row_ptr_.size()) - 1; }
+  /// Structural nonzeros across all rows (the CSR payload size).
+  [[nodiscard]] long num_nonzeros() const { return static_cast<long>(coefs_.size()); }
   [[nodiscard]] const Variable& variable(int j) const { return vars_[static_cast<size_t>(j)]; }
-  [[nodiscard]] const Rowdef& row(int i) const { return rows_[static_cast<size_t>(i)]; }
+  [[nodiscard]] RowView row(int i) const {
+    const auto ii = static_cast<size_t>(i);
+    return RowView{row_names_[ii], row_senses_[ii], row_rhs_[ii],
+                   std::span<const Coef>(coefs_.data() + row_ptr_[ii],
+                                         static_cast<size_t>(row_ptr_[ii + 1] -
+                                                             row_ptr_[ii]))};
+  }
   [[nodiscard]] const std::vector<Variable>& variables() const { return vars_; }
-  [[nodiscard]] const std::vector<Rowdef>& rows() const { return rows_; }
 
   /// Indices of integer-marked variables.
   [[nodiscard]] std::vector<int> integer_vars() const;
@@ -81,7 +109,13 @@ class LpModel {
 
  private:
   std::vector<Variable> vars_;
-  std::vector<Rowdef> rows_;
+  // CSR row storage: row i's coefficients are coefs_[row_ptr_[i] ..
+  // row_ptr_[i+1]), sorted by var with duplicates merged at add_row.
+  std::vector<int> row_ptr_{0};
+  std::vector<Coef> coefs_;
+  std::vector<std::string> row_names_;
+  std::vector<RowSense> row_senses_;
+  std::vector<double> row_rhs_;
 };
 
 }  // namespace ovnes::solver

@@ -110,14 +110,25 @@ const LpResult& LpSession::solve() {
     // allocation, never the failed factors.)
     const int warm_iters = result_.iterations;
     const int warm_refacs = result_.refactorizations;
+    const long warm_ksolves = result_.kernel_solves;
+    const long warm_hyper = result_.hypersparse_hits;
+    const int warm_reord = result_.reorderings;
     result_ = detail::simplex_solve(model(), opts_, nullptr, kept);
     result_.iterations += warm_iters;
     result_.refactorizations += warm_refacs;
+    result_.kernel_solves += warm_ksolves;
+    result_.hypersparse_hits += warm_hyper;
+    result_.reorderings += warm_reord;
   }
 
   ++stats_.solves;
   stats_.iterations += result_.iterations;
   stats_.refactorizations += result_.refactorizations;
+  stats_.kernel_solves += result_.kernel_solves;
+  stats_.hypersparse_hits += result_.hypersparse_hits;
+  stats_.reorderings += result_.reorderings;
+  stats_.factor_nnz = result_.factor_nnz;
+  stats_.fill_ratio = result_.fill_ratio;
   if (result_.used_dual_simplex) ++stats_.dual_solves;
   if (result_.used_kept_factors) ++stats_.kept_solves;
   if (result_.used_warm_start) {

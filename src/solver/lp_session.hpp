@@ -148,6 +148,12 @@ class LpSession {
                            ///< on entry (bound deltas verbatim, cuts bordered)
     long iterations = 0;   ///< total pivots across all solves
     long refactorizations = 0;  ///< from-scratch factorizations, all solves
+    // Sparsity counters (LpResult mirrors, zeros under the dense kernel).
+    long kernel_solves = 0;     ///< FTRAN + BTRAN calls, all solves
+    long hypersparse_hits = 0;  ///< kernel solves that skipped > half the sweep
+    long reorderings = 0;       ///< fill-blowup re-orderings, all solves
+    long factor_nnz = 0;        ///< nnz(L)+nnz(U) of the latest factorization
+    double fill_ratio = 0.0;    ///< factor_nnz / nnz(basis), latest
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 

@@ -9,6 +9,7 @@
 #include <memory>
 
 #include "solver/basis_lu.hpp"
+#include "solver/sparse.hpp"
 
 namespace ovnes::solver {
 
@@ -42,6 +43,17 @@ class Simplex {
     LpResult res = run_impl();
     res.refactorizations = refactorizations_;
     res.used_kept_factors = adopted_kept_;
+    // Per-solve kernel counters: diff against the entry snapshot (a kept
+    // kernel accumulates across session solves).
+    const auto fill_kernel_stats = [&] {
+      if (kernel_ == nullptr) return;
+      const KernelStats ks = kernel_->stats();
+      res.factor_nnz = ks.factor_nnz;
+      res.fill_ratio = ks.fill_ratio;
+      res.kernel_solves = ks.solves - kstats0_.solves;
+      res.hypersparse_hits = ks.hypersparse_hits - kstats0_.hypersparse_hits;
+      res.reorderings = static_cast<int>(ks.reorderings - kstats0_.reorderings);
+    };
     // Hand the kernel back on every exit. The slot order is trustworthy
     // only after an Optimal solve that produced a basis snapshot (no
     // artificial basic): anything else — Infeasible, a limit hit, a stale
@@ -52,8 +64,8 @@ class Simplex {
         // Lean handback: past half the update budget, fold the eta/border
         // file into fresh LU factors now rather than dragging it through
         // every FTRAN/BTRAN of the next solve's pivots. Amortized this is
-        // one O(m³/3) per ~budget/2 updates — the same rate the in-loop
-        // eta limit would force, but the next re-solve starts lean.
+        // one factorization per ~budget/2 updates — the same rate the
+        // in-loop eta limit would force, but the next re-solve starts lean.
         if (kernel_ != nullptr &&
             2 * kernel_->updates_since_factorize() >= kernel_max_updates_ &&
             !factorize_current_basis()) {
@@ -61,6 +73,8 @@ class Simplex {
           // optimality means the factors have drifted badly; hand back
           // only the allocation.
           kept_->basis_order.clear();
+          kept_->dse_weights.clear();
+          fill_kernel_stats();
           kept_->kernel = std::move(kernel_);
           kept_->dense = opts_.dense_basis_inverse;
           res.refactorizations = refactorizations_;
@@ -69,12 +83,30 @@ class Simplex {
         kept_->basis_order = basis_;
         kept_->num_vars = n_;
         kept_->num_rows = m_;
+        // DSE weight carry: hand the slot weights forward when they still
+        // describe B — the solve ended in the dual loop with no primal
+        // pivot after (dse_valid_), or the adopted basis never changed at
+        // all (pivots_ == 0; borders only grow the frame, appended slots
+        // price as fresh reference weights).
+        if (dse_valid_ && static_cast<int>(dse_.size()) == m_) {
+          kept_->dse_weights = dse_;
+        } else if (adopted_kept_ && pivots_ == 0 &&
+                   static_cast<int>(kept_->dse_weights.size()) == adopt_rows_ &&
+                   adopt_rows_ > 0) {
+          kept_->dse_weights.resize(static_cast<size_t>(m_), 1.0);
+        } else {
+          kept_->dse_weights.clear();
+        }
       } else {
         kept_->basis_order.clear();
+        kept_->dse_weights.clear();
       }
+      fill_kernel_stats();
       kept_->kernel = std::move(kernel_);
       kept_->dense = opts_.dense_basis_inverse;
       res.refactorizations = refactorizations_;
+    } else {
+      fill_kernel_stats();
     }
     return res;
   }
@@ -110,6 +142,9 @@ class Simplex {
             dual_done = true;
             warm_swaps = 0;
             res.used_dual_simplex = res.iterations > before;
+            // The dual loop's weights describe the restored basis; they
+            // stay carriable unless Phase 2 pivots again.
+            dse_valid_ = opts_.dual_steepest_edge;
             break;
           case DualOutcome::NotDualFeasible:
             // Untouched basis (only duals were priced); hand it to the
@@ -204,8 +239,9 @@ class Simplex {
   void load_column(int j, std::vector<double>& col) const {
     std::fill(col.begin(), col.end(), 0.0);
     if (j < n_) {
-      for (const auto& [row, val] : cols_[static_cast<size_t>(j)]) {
-        col[static_cast<size_t>(row)] = val;
+      for (int p = acsc_.begin(j); p < acsc_.end(j); ++p) {
+        col[static_cast<size_t>(acsc_.ind[static_cast<size_t>(p)])] =
+            acsc_.val[static_cast<size_t>(p)];
       }
     } else if (j < n_ + m_) {
       col[static_cast<size_t>(j - n_)] = 1.0;
@@ -217,13 +253,30 @@ class Simplex {
   [[nodiscard]] double dot_column(int j, const std::vector<double>& y) const {
     if (j < n_) {
       double s = 0.0;
-      for (const auto& [row, val] : cols_[static_cast<size_t>(j)]) {
-        s += y[static_cast<size_t>(row)] * val;
+      for (int p = acsc_.begin(j); p < acsc_.end(j); ++p) {
+        s += y[static_cast<size_t>(acsc_.ind[static_cast<size_t>(p)])] *
+             acsc_.val[static_cast<size_t>(p)];
       }
       return s;
     }
     if (j < n_ + m_) return y[static_cast<size_t>(j - n_)];
     return y[static_cast<size_t>(j - n_ - m_)] * art_sign_[static_cast<size_t>(j - n_ - m_)];
+  }
+
+  /// galpha_ := A_structᵀ·vec gathered through the model's CSR rows,
+  /// iterating only vec's nonzero rows. Row order (ascending i) matches
+  /// the CSC column dot product term-for-term, so the sums round
+  /// identically — this is the sparse replacement for pricing every
+  /// structural column with dot_column.
+  void gather_structural(const std::vector<double>& vec) {
+    std::fill(galpha_.begin(), galpha_.end(), 0.0);
+    for (int i = 0; i < m_; ++i) {
+      const double vi = vec[static_cast<size_t>(i)];
+      if (vi == 0.0) continue;
+      for (const Coef& c : model_.row(i).coefs) {
+        galpha_[static_cast<size_t>(c.var)] += vi * c.value;
+      }
+    }
   }
 
   [[nodiscard]] double nonbasic_value(int j) const {
@@ -240,11 +293,28 @@ class Simplex {
     cost_.assign(static_cast<size_t>(total), 0.0);
     status_.assign(static_cast<size_t>(total), VarStatus::AtLower);
 
-    // Structural columns (sparse by rows) and bounds.
-    cols_.assign(static_cast<size_t>(n_), {});
+    // Structural columns: one CSC view of the model's CSR rows, built with
+    // a counting sort (entries within each column come out row-ascending).
+    acsc_.n_inner = m_;
+    acsc_.ptr.assign(static_cast<size_t>(n_) + 1, 0);
     for (int i = 0; i < m_; ++i) {
       for (const Coef& c : model_.row(i).coefs) {
-        cols_[static_cast<size_t>(c.var)].emplace_back(i, c.value);
+        ++acsc_.ptr[static_cast<size_t>(c.var) + 1];
+      }
+    }
+    for (int j = 0; j < n_; ++j) {
+      acsc_.ptr[static_cast<size_t>(j) + 1] += acsc_.ptr[static_cast<size_t>(j)];
+    }
+    acsc_.ind.resize(static_cast<size_t>(acsc_.ptr[static_cast<size_t>(n_)]));
+    acsc_.val.resize(acsc_.ind.size());
+    {
+      std::vector<int> next(acsc_.ptr.begin(), acsc_.ptr.end() - 1);
+      for (int i = 0; i < m_; ++i) {
+        for (const Coef& c : model_.row(i).coefs) {
+          const auto pos = static_cast<size_t>(next[static_cast<size_t>(c.var)]++);
+          acsc_.ind[pos] = i;
+          acsc_.val[pos] = c.value;
+        }
       }
     }
     for (int j = 0; j < n_; ++j) {
@@ -258,7 +328,7 @@ class Simplex {
     b_.resize(static_cast<size_t>(m_));
     bnorm_ = 0.0;
     for (int i = 0; i < m_; ++i) {
-      const Rowdef& r = model_.row(i);
+      const RowView r = model_.row(i);
       b_[static_cast<size_t>(i)] = r.rhs;
       bnorm_ = std::max(bnorm_, std::abs(r.rhs));
       const int sj = n_ + i;
@@ -286,6 +356,8 @@ class Simplex {
     xb_.resize(static_cast<size_t>(m_));
     BasisKernelOptions kopts;
     kopts.pivot_tol = opts_.pivot_tol;
+    kopts.markowitz_tol = opts_.markowitz_tol;
+    kopts.max_fill_ratio = opts_.max_fill_ratio;
     // Eta budget: refactorizing costs O(m^3)/k amortized while each eta adds
     // O(m) to every ftran/btran, so the break-even file length grows with m
     // (~m/2). Capping by refactor_interval bounds drift on large bases;
@@ -312,6 +384,9 @@ class Simplex {
     } else {
       kernel_ = make_basis_kernel(m_, opts_.dense_basis_inverse, kopts);
     }
+    // Snapshot the kernel's cumulative counters so this solve can report
+    // its own share (a kept kernel accumulates across session solves).
+    kstats0_ = kernel_->stats();
     for (int i = 0; i < m_; ++i) {
       const int aj = n_ + m_ + i;
       lb_[static_cast<size_t>(aj)] = 0.0;
@@ -321,6 +396,9 @@ class Simplex {
     y_.resize(static_cast<size_t>(m_));
     w_.resize(static_cast<size_t>(m_));
     rho_.resize(static_cast<size_t>(m_));
+    galpha_.assign(static_cast<size_t>(n_), 0.0);
+    alpha_.assign(static_cast<size_t>(n_), 0.0);
+    amark_.assign(static_cast<size_t>(n_), 0);
   }
 
   /// Cold start: all-artificial basis. Also the fallback after a rejected
@@ -338,8 +416,9 @@ class Simplex {
     for (int j = 0; j < n_; ++j) {
       const double xv = nonbasic_value(j);
       if (xv != 0.0) {
-        for (const auto& [row, val] : cols_[static_cast<size_t>(j)]) {
-          resid[static_cast<size_t>(row)] -= val * xv;
+        for (int p = acsc_.begin(j); p < acsc_.end(j); ++p) {
+          resid[static_cast<size_t>(acsc_.ind[static_cast<size_t>(p)])] -=
+              acsc_.val[static_cast<size_t>(p)] * xv;
         }
       }
     }
@@ -455,6 +534,7 @@ class Simplex {
       basis_[static_cast<size_t>(i)] = kept_->basis_order[static_cast<size_t>(i)];
     }
     for (int i = k; i < m_; ++i) basis_[static_cast<size_t>(i)] = n_ + i;
+    adopt_rows_ = k;
 
     if (m_ > k) {
       // Slot lookup for the border vectors: cut rows only reference
@@ -484,18 +564,29 @@ class Simplex {
     return true;
   }
 
-  /// (Re)factorize the kernel from the given column set. The column matrix
-  /// buffer is reused across calls: cold starts and refactorizations happen
-  /// once per ~refactor_interval pivots and must not churn the allocator.
+  /// (Re)factorize the kernel from the given column set, staged in CSC
+  /// form (O(nnz(B)) — no dense m×m buffer on the refactorization path).
+  /// The staging matrix is reused across calls: cold starts and
+  /// refactorizations happen once per ~refactor_interval pivots and must
+  /// not churn the allocator.
   [[nodiscard]] bool factorize_columns(const std::vector<int>& cand) {
-    const auto m = static_cast<size_t>(m_);
-    colsbuf_.resize(m);
-    for (size_t i = 0; i < m; ++i) {
-      colsbuf_[i].resize(m);
-      load_column(cand[i], colsbuf_[i]);
+    bbuf_.clear(m_);
+    for (int i = 0; i < m_; ++i) {
+      const int j = cand[static_cast<size_t>(i)];
+      if (j < n_) {
+        for (int p = acsc_.begin(j); p < acsc_.end(j); ++p) {
+          bbuf_.push(acsc_.ind[static_cast<size_t>(p)],
+                     acsc_.val[static_cast<size_t>(p)]);
+        }
+      } else if (j < n_ + m_) {
+        bbuf_.push(j - n_, 1.0);
+      } else {
+        bbuf_.push(j - n_ - m_, art_sign_[static_cast<size_t>(j - n_ - m_)]);
+      }
+      bbuf_.close_outer();
     }
     ++refactorizations_;
-    return kernel_->factorize(colsbuf_);
+    return kernel_->factorize(bbuf_);
   }
 
   /// Refactorize from the current basis_ (after an eta-file overflow, a
@@ -555,6 +646,7 @@ class Simplex {
       const int aj = n_ + m_ + r;
       basis_[static_cast<size_t>(worst)] = aj;
       status_[static_cast<size_t>(aj)] = VarStatus::Basic;
+      ++pivots_;
       if (!kernel_->update(w_, worst) && !factorize_current_basis()) return -1;
       ++swaps;
       refresh_basics();
@@ -575,6 +667,7 @@ class Simplex {
     art_sign_[static_cast<size_t>(r)] = -art_sign_[static_cast<size_t>(r)];
     std::fill(w_.begin(), w_.end(), 0.0);
     w_[static_cast<size_t>(pos)] = -1.0;
+    ++pivots_;
     if (!kernel_->update(w_, pos) && !factorize_current_basis()) return false;
     xb_[static_cast<size_t>(pos)] = -xb_[static_cast<size_t>(pos)];
     return true;
@@ -645,10 +738,14 @@ class Simplex {
     // below recomputes both per pivot, byte-faithful to the PR 4 path.
     compute_duals();
     if (dse) dvals_.assign(static_cast<size_t>(n_ + m_), 0.0);
+    gather_structural(y_);  // galpha_[j] = y·A_j, summed like dot_column
     for (int j = 0; j < n_ + m_; ++j) {
       if (status_[static_cast<size_t>(j)] == VarStatus::Basic) continue;
       if (lower(j) == upper(j)) continue;  // fixed: any sign is dual-ok
-      const double d = cost_[static_cast<size_t>(j)] - dot_column(j, y_);
+      const double d =
+          cost_[static_cast<size_t>(j)] -
+          (j < n_ ? galpha_[static_cast<size_t>(j)]
+                  : y_[static_cast<size_t>(j - n_)]);
       if (dse) dvals_[static_cast<size_t>(j)] = d;
       if (status_[static_cast<size_t>(j)] == VarStatus::AtLower
               ? d < -opts_.opt_tol
@@ -658,21 +755,46 @@ class Simplex {
     }
 
     // Dual steepest-edge reference weights β_i ≈ ‖e_iᵀB⁻¹‖²: initialized
-    // to the reference framework (all ones) and updated *exactly* per
-    // pivot (Forrest–Goldfarb), so their accuracy is independent of
+    // to the reference framework (all ones) — or, on a kept-factor
+    // re-solve with carry_dse_weights, to the weights the previous solve
+    // handed back for exactly this basis (appended border slots start at
+    // the reference weight) — and updated *exactly* per pivot
+    // (Forrest–Goldfarb), so their accuracy is independent of
     // refactorizations. Inexact weights can only degrade the row choice,
     // never correctness.
-    if (dse) dse_.assign(static_cast<size_t>(m_), 1.0);
+    if (dse) {
+      dse_.assign(static_cast<size_t>(m_), 1.0);
+      if (opts_.carry_dse_weights && adopted_kept_ && kept_ != nullptr &&
+          static_cast<int>(kept_->dse_weights.size()) == adopt_rows_ &&
+          adopt_rows_ > 0) {
+        // Re-anchor the carried framework at 1 before resuming: the Devex
+        // update only ever grows weights (max-rule), so weights inherited
+        // across many re-solves inflate uniformly; dividing by the
+        // smallest carried weight keeps the relative edge-norm
+        // information — the part that steers row choice — while pushing
+        // the 1e6 framework-reset horizon back out.
+        double wmin = kept_->dse_weights.front();
+        for (const double w : kept_->dse_weights) wmin = std::min(wmin, w);
+        if (wmin < 1.0) wmin = 1.0;
+        for (int i = 0; i < adopt_rows_; ++i) {
+          dse_[static_cast<size_t>(i)] = std::max(
+              kept_->dse_weights[static_cast<size_t>(i)] / wmin, 1.0);
+        }
+      }
+    }
 
     // Re-seed y_ and the cached reduced costs after a refactorization or
     // refresh: the incremental updates restart from certified values.
     const auto reprice = [&] {
       if (!dse) return;
       compute_duals();
+      gather_structural(y_);
       for (int j = 0; j < n_ + m_; ++j) {
         if (status_[static_cast<size_t>(j)] == VarStatus::Basic) continue;
         dvals_[static_cast<size_t>(j)] =
-            cost_[static_cast<size_t>(j)] - dot_column(j, y_);
+            cost_[static_cast<size_t>(j)] -
+            (j < n_ ? galpha_[static_cast<size_t>(j)]
+                    : y_[static_cast<size_t>(j - n_)]);
       }
     };
 
@@ -719,37 +841,101 @@ class Simplex {
       int q = -1;
       double best_ratio = kInf;
       double best_mag = 0.0;
-      if (dse) scan_.clear();
-      for (int j = 0; j < n_ + m_; ++j) {
-        if (status_[static_cast<size_t>(j)] == VarStatus::Basic) continue;
-        if (lower(j) == upper(j)) continue;
-        const double alpha = dot_column(j, rho_);
-        if (std::abs(alpha) <= opts_.pivot_tol) continue;
-        // Every nonbasic with a live pivot-row entry joins the d-update
-        // set, eligible for entering or not: its reduced cost moves either
-        // way when y steps along rho_.
-        if (dse) scan_.emplace_back(j, alpha);
-        const double dir =
-            status_[static_cast<size_t>(j)] == VarStatus::AtLower ? 1.0 : -1.0;
-        // x_B[r] changes by -alpha*dir*t with t >= 0: require an increase
-        // when below the lower bound, a decrease when above the upper.
-        const double eff = alpha * dir;
-        if (below ? eff >= -opts_.pivot_tol : eff <= opts_.pivot_tol) continue;
-        if (bland) {  // first (smallest) eligible index
-          if (q < 0) q = j;
-          if (!dse) break;  // dse keeps scanning to complete the update set
-          continue;
+      if (dse) {
+        // Sparse row pricing: alpha_j = ρᵀ·a_j for every column at once,
+        // gathered through the model's CSR rows over ρ's nonzeros —
+        // O(nnz of the rows ρ touches), not a dot product per nonbasic
+        // column. Slack alphas are ρ's own entries. Gather order
+        // (ascending row) matches dot_column term-for-term, and the
+        // candidate scan below runs in ascending column order (structural
+        // sorted, then slacks), so pivot choice — including Bland's
+        // smallest-index rule — is unchanged from the dense scan.
+        scan_.clear();
+        touched_.clear();
+        for (int i = 0; i < m_; ++i) {
+          const double ri = rho_[static_cast<size_t>(i)];
+          if (ri == 0.0) continue;
+          for (const Coef& c : model_.row(i).coefs) {
+            if (!amark_[static_cast<size_t>(c.var)]) {
+              amark_[static_cast<size_t>(c.var)] = 1;
+              touched_.push_back(c.var);
+            }
+            alpha_[static_cast<size_t>(c.var)] += ri * c.value;
+          }
         }
-        const double d = dse ? dvals_[static_cast<size_t>(j)]
-                             : cost_[static_cast<size_t>(j)] -
-                                   dot_column(j, y_);
-        const double ratio =
-            std::max(0.0, dir > 0.0 ? d : -d) / std::abs(alpha);
-        if (ratio < best_ratio - 1e-12 ||
-            (ratio < best_ratio + 1e-12 && std::abs(alpha) > best_mag)) {
-          best_ratio = ratio;
-          best_mag = std::abs(alpha);
-          q = j;
+        std::sort(touched_.begin(), touched_.end());
+        const auto consider = [&](int j, double alpha) {
+          if (status_[static_cast<size_t>(j)] == VarStatus::Basic) return;
+          if (lower(j) == upper(j)) return;
+          if (std::abs(alpha) <= opts_.pivot_tol) return;
+          // Every nonbasic with a live pivot-row entry joins the d-update
+          // set, eligible for entering or not: its reduced cost moves
+          // either way when y steps along rho_.
+          scan_.emplace_back(j, alpha);
+          const double dir =
+              status_[static_cast<size_t>(j)] == VarStatus::AtLower ? 1.0
+                                                                    : -1.0;
+          // x_B[r] changes by -alpha*dir*t with t >= 0: require an
+          // increase when below the lower bound, a decrease when above
+          // the upper.
+          const double eff = alpha * dir;
+          if (below ? eff >= -opts_.pivot_tol : eff <= opts_.pivot_tol) {
+            return;
+          }
+          if (bland) {  // first (smallest) eligible index
+            if (q < 0) q = j;
+            return;  // keep scanning to complete the update set
+          }
+          const double d = dvals_[static_cast<size_t>(j)];
+          const double ratio =
+              std::max(0.0, dir > 0.0 ? d : -d) / std::abs(alpha);
+          if (ratio < best_ratio - 1e-12 ||
+              (ratio < best_ratio + 1e-12 && std::abs(alpha) > best_mag)) {
+            best_ratio = ratio;
+            best_mag = std::abs(alpha);
+            q = j;
+          }
+        };
+        for (const int j : touched_) {
+          consider(j, alpha_[static_cast<size_t>(j)]);
+        }
+        for (int i = 0; i < m_; ++i) {
+          if (rho_[static_cast<size_t>(i)] == 0.0) continue;
+          consider(n_ + i, rho_[static_cast<size_t>(i)]);
+        }
+        for (const int j : touched_) {
+          alpha_[static_cast<size_t>(j)] = 0.0;
+          amark_[static_cast<size_t>(j)] = 0;
+        }
+      } else {
+        // Legacy loop (PR 4 behaviour, kept byte-for-byte for A/B):
+        // re-derive duals and price every nonbasic column with a dot.
+        for (int j = 0; j < n_ + m_; ++j) {
+          if (status_[static_cast<size_t>(j)] == VarStatus::Basic) continue;
+          if (lower(j) == upper(j)) continue;
+          const double alpha = dot_column(j, rho_);
+          if (std::abs(alpha) <= opts_.pivot_tol) continue;
+          const double dir =
+              status_[static_cast<size_t>(j)] == VarStatus::AtLower ? 1.0
+                                                                    : -1.0;
+          const double eff = alpha * dir;
+          if (below ? eff >= -opts_.pivot_tol : eff <= opts_.pivot_tol) {
+            continue;
+          }
+          if (bland) {  // first (smallest) eligible index
+            q = j;
+            break;
+          }
+          const double d =
+              cost_[static_cast<size_t>(j)] - dot_column(j, y_);
+          const double ratio =
+              std::max(0.0, dir > 0.0 ? d : -d) / std::abs(alpha);
+          if (ratio < best_ratio - 1e-12 ||
+              (ratio < best_ratio + 1e-12 && std::abs(alpha) > best_mag)) {
+            best_ratio = ratio;
+            best_mag = std::abs(alpha);
+            q = j;
+          }
         }
       }
       if (q < 0) return DualOutcome::Abandoned;  // primal infeasible or
@@ -833,6 +1019,7 @@ class Simplex {
       basis_[static_cast<size_t>(r)] = q;
       status_[static_cast<size_t>(q)] = VarStatus::Basic;
       xb_[static_cast<size_t>(r)] = xq_new;
+      ++pivots_;
       if (!kernel_->update(w_, r)) {
         if (!factorize_current_basis()) return DualOutcome::Abandoned;
         refresh_basics();
@@ -888,8 +1075,9 @@ class Simplex {
       const double xv = nonbasic_value(j);
       if (xv == 0.0) continue;
       if (j < n_) {
-        for (const auto& [row, val] : cols_[static_cast<size_t>(j)]) {
-          rhs[static_cast<size_t>(row)] -= val * xv;
+        for (int p = acsc_.begin(j); p < acsc_.end(j); ++p) {
+          rhs[static_cast<size_t>(acsc_.ind[static_cast<size_t>(p)])] -=
+              acsc_.val[static_cast<size_t>(p)] * xv;
         }
       } else if (j < n_ + m_) {
         rhs[static_cast<size_t>(j - n_)] -= xv;
@@ -909,6 +1097,11 @@ class Simplex {
 
     for (int iter = 0; iter < opts_.max_iterations; ++iter, ++iter_count) {
       compute_duals();
+      // One pass over the constraint rows prices every structural column
+      // at once (galpha_[j] = y·A_j); slack/artificial dots are single
+      // entries of y_. Summation order matches the per-column dot, so the
+      // chosen q is identical to the dense scan's.
+      gather_structural(y_);
 
       // --- Pricing.
       int q = -1;
@@ -919,7 +1112,13 @@ class Simplex {
         if (st == VarStatus::Basic) continue;
         if (lower(j) == upper(j)) continue;  // fixed
         if (!phase1_ && is_artificial(j)) continue;
-        const double d = cost_[static_cast<size_t>(j)] - dot_column(j, y_);
+        const double d =
+            cost_[static_cast<size_t>(j)] -
+            (j < n_     ? galpha_[static_cast<size_t>(j)]
+             : j < n_ + m_
+                 ? y_[static_cast<size_t>(j - n_)]
+                 : y_[static_cast<size_t>(j - n_ - m_)] *
+                       art_sign_[static_cast<size_t>(j - n_ - m_)]);
         double score = 0.0;
         if (st == VarStatus::AtLower && d < -opts_.opt_tol) score = -d;
         else if (st == VarStatus::AtUpper && d > opts_.opt_tol) score = d;
@@ -1015,6 +1214,8 @@ class Simplex {
       basis_[static_cast<size_t>(leave)] = q;
       status_[static_cast<size_t>(q)] = VarStatus::Basic;
       xb_[static_cast<size_t>(leave)] = xq_new;
+      ++pivots_;
+      dse_valid_ = false;  // primal pivot: dual edge norms now stale
       if (!kernel_->update(w_, leave)) {
         if (!factorize_current_basis()) return LpStatus::IterationLimit;
         refresh_basics();
@@ -1097,6 +1298,7 @@ class Simplex {
         // The artificial leaves at value `keep` (≈ 0 after a successful
         // phase 1); the entering variable moves by keep/piv off its bound.
         xb_[static_cast<size_t>(i)] = nonbasic_value(pick) + keep / piv;
+        ++pivots_;
         if (!kernel_->update(w_, i) && !factorize_current_basis()) {
           return false;
         }
@@ -1132,9 +1334,10 @@ class Simplex {
     res.objective = model_.objective_value(res.x);
     res.row_duals.assign(y_.begin(), y_.end());
     res.reduced_costs.assign(static_cast<size_t>(n_), 0.0);
+    gather_structural(y_);  // galpha_[j] = y·A_j, summed like dot_column
     for (int j = 0; j < n_; ++j) {
       res.reduced_costs[static_cast<size_t>(j)] =
-          cost_[static_cast<size_t>(j)] - dot_column(j, y_);
+          cost_[static_cast<size_t>(j)] - galpha_[static_cast<size_t>(j)];
     }
     // Basis snapshot for warm starts. Unusable if an artificial is still
     // basic (redundant equality rows): the structural+slack statuses alone
@@ -1190,9 +1393,14 @@ class Simplex {
   bool phase1_ = true;
   int refactorizations_ = 0;   ///< factorize_columns calls this run
   bool adopted_kept_ = false;  ///< kept factors adopted without refactorize
+  int adopt_rows_ = 0;          ///< kept num_rows at adoption (DSE carry)
+  int pivots_ = 0;              ///< basis-matrix changes this run
+  bool dse_valid_ = false;      ///< dse_ describes the final basis (carry ok)
   int kernel_max_updates_ = 0;  ///< kernel's eta/border budget (lean handback)
+  KernelStats kstats0_;         ///< kernel counters at solve entry (diff base)
 
-  std::vector<std::vector<std::pair<int, double>>> cols_;  ///< structural cols
+  SparseMatrix acsc_;  ///< structural columns, CSC over the model's rows
+  SparseMatrix bbuf_;  ///< factorize_columns staging (CSC basis matrix)
   std::vector<double> b_;
   double bnorm_ = 0.0;
   std::vector<double> lb_, ub_, cost_;
@@ -1201,12 +1409,15 @@ class Simplex {
   std::vector<int> basis_;
   std::vector<double> xb_;
   std::unique_ptr<BasisKernel> kernel_;  ///< LU/eta (default) or dense B^{-1}
-  std::vector<std::vector<double>> colsbuf_;  ///< factorize_columns scratch
   std::vector<double> y_, w_;
   std::vector<double> rho_;  ///< dual pivot row buffer (B^{-T} e_r)
   std::vector<double> dse_;  ///< dual steepest-edge weights (per row slot)
   std::vector<double> dvals_;  ///< cached reduced costs (DSE incremental path)
   std::vector<std::pair<int, double>> scan_;  ///< (j, alpha) d-update set
+  std::vector<double> galpha_;  ///< Aᵀ·vec gather buffer (pricing)
+  std::vector<double> alpha_;   ///< pivot-row gather accumulator (dual loop)
+  std::vector<char> amark_;     ///< alpha_ touched marks
+  std::vector<int> touched_;    ///< alpha_ touched structural vars
 };
 
 }  // namespace

@@ -86,6 +86,15 @@ struct LpResult {
   /// stability / drift triggers). The kept-factors path exists to drive
   /// this to ~0 on cut-round re-solves.
   int refactorizations = 0;
+  /// Sparsity counters from the basis kernel (zeros under the dense
+  /// reference kernel). factor_nnz/fill_ratio describe the most recent
+  /// factorization the kernel holds — possibly inherited from a previous
+  /// solve on the kept-factors path; the others count this solve only.
+  long factor_nnz = 0;       ///< nnz(L)+nnz(U) of the current factors
+  double fill_ratio = 0.0;   ///< factor_nnz / nnz(basis) at factorization
+  long kernel_solves = 0;    ///< FTRAN + BTRAN calls this solve
+  long hypersparse_hits = 0; ///< kernel solves that skipped > half the sweep
+  int reorderings = 0;       ///< fill-blowup re-orderings this solve
 };
 
 /// \brief Tuning knobs for the revised simplex and its re-solve paths.
@@ -124,6 +133,22 @@ struct SimplexOptions {
   /// every iteration. Entering-column selection keeps the same Bland
   /// degeneracy fallback. Off restores the PR 4 loop byte-for-byte.
   bool dual_steepest_edge = true;
+  /// Carry the dual steepest-edge weights across kept-factor re-solves
+  /// (BasisFactors::dse_weights) instead of resetting to the reference
+  /// framework (all ones) each solve. The weights describe ‖eᵢᵀB⁻¹‖² of
+  /// the handed-back basis, so a re-solve that adopts the factors resumes
+  /// pricing where the previous solve left off and spends fewer pivots
+  /// rediscovering the same edge norms. Off reseeds every solve (the PR 5
+  /// behaviour, kept for A/B).
+  bool carry_dse_weights = true;
+  /// BasisLu: threshold-Markowitz pivot tolerance — a row qualifies as a
+  /// pivot when its magnitude is at least this fraction of its column's
+  /// largest; among qualifiers the sparsest row wins (fill control).
+  double markowitz_tol = 0.1;
+  /// BasisLu: nnz(L+U)/nnz(B) ratio above which a factorization re-orders
+  /// (Markowitz-product column order, looser threshold) instead of keeping
+  /// densified factors.
+  double max_fill_ratio = 16.0;
   /// LpSession only: keep the basis factorization alive across solves
   /// (BasisFactors). A re-solve whose warm basis matches the kept factors
   /// adopts them verbatim — bound-only deltas pivot straight away, and

@@ -1,0 +1,36 @@
+#include "solver/sparse.hpp"
+
+#include <algorithm>
+
+namespace ovnes::solver {
+
+void transpose(const SparseMatrix& a, SparseMatrix& out) {
+  const int n_out = a.outer();
+  const auto inner = static_cast<std::size_t>(a.n_inner);
+  out.n_inner = n_out;
+  out.ptr.assign(inner + 1, 0);
+  out.ind.resize(a.ind.size());
+  out.val.resize(a.val.size());
+  for (const int i : a.ind) ++out.ptr[static_cast<std::size_t>(i) + 1];
+  for (std::size_t i = 0; i < inner; ++i) out.ptr[i + 1] += out.ptr[i];
+  // Second pass: place entries; `next` tracks the write head per inner row.
+  std::vector<int> next(out.ptr.begin(), out.ptr.end() - 1);
+  for (int k = 0; k < n_out; ++k) {
+    for (int p = a.begin(k); p < a.end(k); ++p) {
+      const int i = a.ind[static_cast<std::size_t>(p)];
+      const int dst = next[static_cast<std::size_t>(i)]++;
+      out.ind[static_cast<std::size_t>(dst)] = k;
+      out.val[static_cast<std::size_t>(dst)] = a.val[static_cast<std::size_t>(p)];
+    }
+  }
+}
+
+void scatter(const SparseMatrix& a, int k, std::vector<double>& v) {
+  v.assign(static_cast<std::size_t>(a.n_inner), 0.0);
+  for (int p = a.begin(k); p < a.end(k); ++p) {
+    v[static_cast<std::size_t>(a.ind[static_cast<std::size_t>(p)])] =
+        a.val[static_cast<std::size_t>(p)];
+  }
+}
+
+}  // namespace ovnes::solver

@@ -1,0 +1,65 @@
+// Compressed sparse matrix/vector storage for the LP solver core.
+//
+// One index/value layout (`SparseMatrix`) serves both orientations: the
+// LpModel stores its constraint rows in CSR form (append-friendly — a
+// Benders cut is one more compressed row, a truncate_rows is a resize),
+// the simplex assembles the structural columns and each basis matrix in
+// CSC form, and the Markowitz LU kernel factorizes and stores L/U (plus
+// their transposes, for the BTRAN sweeps) the same way. Everything
+// downstream of LpModel iterates nonzeros only; dense m×m staging
+// buffers — the old O(m²) floor under every factorize at m ≥ 2000 —
+// no longer exist on the solve path.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ovnes::solver {
+
+/// \brief Compressed sparse matrix: `ptr` (outer, size n_outer+1) into
+/// parallel `ind`/`val` arrays. CSC when the outer dimension is columns
+/// (the solver convention), CSR when it is rows (the LpModel convention).
+struct SparseMatrix {
+  int n_inner = 0;  ///< rows for CSC, cols for CSR
+  std::vector<int> ptr{0};
+  std::vector<int> ind;
+  std::vector<double> val;
+
+  [[nodiscard]] int outer() const { return static_cast<int>(ptr.size()) - 1; }
+  [[nodiscard]] long nnz() const { return static_cast<long>(ind.size()); }
+
+  /// Reset to an empty matrix with `inner` inner dimension, keeping the
+  /// allocations (the simplex reassembles the basis here every
+  /// refactorization — no allocator churn on the hot path).
+  void clear(int inner) {
+    n_inner = inner;
+    ptr.clear();
+    ptr.push_back(0);
+    ind.clear();
+    val.clear();
+  }
+
+  /// Append one nonzero to the open outer slice.
+  void push(int i, double v) {
+    ind.push_back(i);
+    val.push_back(v);
+  }
+
+  /// Close the current outer slice (call once per column/row, in order).
+  void close_outer() { ptr.push_back(static_cast<int>(ind.size())); }
+
+  /// Entries of outer slice k as [begin, end) offsets into ind/val.
+  [[nodiscard]] int begin(int k) const { return ptr[static_cast<std::size_t>(k)]; }
+  [[nodiscard]] int end(int k) const { return ptr[static_cast<std::size_t>(k) + 1]; }
+};
+
+/// \brief Transpose `a` into `out` (CSC ↔ CSR), reusing out's storage.
+/// Counting-sort based, O(nnz + outer + inner); entries within each
+/// output slice come out ordered by the input's outer index.
+void transpose(const SparseMatrix& a, SparseMatrix& out);
+
+/// \brief Densify column/row `k` of `a` into `v` (size a.n_inner,
+/// zero-filled first). Test/reference helper.
+void scatter(const SparseMatrix& a, int k, std::vector<double>& v);
+
+}  // namespace ovnes::solver

@@ -351,6 +351,54 @@ TEST(LpSessionKeptFactors, RefactorizationCountDropsUnderRepeatedAddCut) {
   EXPECT_EQ(rebuild_kept, 0);
 }
 
+TEST(LpSessionKeptFactors, CarriedDseWeightsStayPivotCompetitive) {
+  // ISSUE 6 satellite: dual steepest-edge weights ride through
+  // BasisFactors across kept-factor re-solves instead of resetting to the
+  // reference framework (all ones) each solve. Both variants are
+  // deterministic, so the pivot totals below are exact reproducible
+  // numbers, and on this battery the carry is pivot-neutral (within a few
+  // pivots either way per instance — see docs/solver.md for the measured
+  // trade-off). The assertion pins that: carried weights must stay within
+  // a 25% pivot band of the reset baseline across the instance set — a
+  // misaligned carry (weights applied to the wrong slots) degrades DSE
+  // pricing far past that — and every re-solve must still ride the
+  // kept-factors path on both settings.
+  const auto run_cut_loop = [](int n, std::uint64_t seed, bool carry) {
+    SimplexOptions opts;
+    opts.carry_dse_weights = carry;
+    LpSession sess(battery_lp(n, n, seed), opts);
+    RngStream rng(13);
+    const LpResult* r = &sess.solve();
+    EXPECT_EQ(r->status, LpStatus::Optimal);
+    long pivots = 0;
+    for (int k = 0; k < 6 && r->status == LpStatus::Optimal; ++k) {
+      std::vector<Coef> coefs;
+      double lhs = 0.0;
+      for (int j = 0; j < n; ++j) {
+        const double a = rng.uniform(0.1, 1.0);
+        coefs.push_back({j, a});
+        lhs += a * r->x[static_cast<size_t>(j)];
+      }
+      sess.add_cut("cut" + std::to_string(k), RowSense::LessEq, 0.8 * lhs,
+                   std::move(coefs));
+      r = &sess.solve();
+      EXPECT_EQ(r->status, LpStatus::Optimal) << "cut " << k;
+      pivots += r->iterations;
+    }
+    EXPECT_GE(sess.stats().kept_solves, 6) << "n=" << n << " carry=" << carry;
+    return pivots;
+  };
+
+  long carried = 0;
+  long reset = 0;
+  for (const int n : {60, 80, 120}) {
+    carried += run_cut_loop(n, 7, true);
+    reset += run_cut_loop(n, 7, false);
+  }
+  EXPECT_GT(reset, 0);
+  EXPECT_LE(carried * 4, reset * 5);  // carried <= 1.25 * reset
+}
+
 TEST(LpSessionKeptFactors, BoundOnlyFramesReuseKernelVerbatim) {
   // A push()ed frame that only touches bounds, solved and popped: the
   // restored snapshot marks the same variable set Basic whenever the
