@@ -6,6 +6,12 @@
 // KAC's near-flat cost, with a small KAC optimality gap for eMBB-heavy
 // instances.
 //
+// Each grid point also solves the same instance in single-tree
+// Branch-and-Benders-cut mode (BendersOptions::single_tree) and reports
+// slave separation rounds and master simplex pivots for both modes, so CI
+// can assert the single-tree mode converges with less work (see
+// scripts/check_convergence_regression.py).
+//
 // The grid points are independent (each builds its own topology, catalog
 // and instance from fixed seeds), so they batch through bench::TaskSweep:
 // evaluated concurrently on the exec pool, rows emitted in size order.
@@ -45,6 +51,9 @@ std::string convergence_point(double scale, std::size_t tenants) {
   BendersOptions bopts;
   bopts.time_limit_sec = 60.0;
   const AdmissionResult exact = solve_benders(inst, bopts);
+  BendersOptions stopts = bopts;
+  stopts.single_tree = true;
+  const AdmissionResult st = solve_benders(inst, stopts);
   const AdmissionResult kac = solve_kac(inst);
   const double gap_pct =
       exact.objective < -1e-9
@@ -58,6 +67,20 @@ std::string convergence_point(double scale, std::size_t tenants) {
       .set("benders_ms", exact.solve_ms)
       .set("benders_iters", exact.iterations)
       .set("benders_optimal", exact.optimal)
+      // Multi-tree vs single-tree cut machinery. "sep_rounds" counts slave
+      // separation invocations (probes included) — the apples-to-apples
+      // iteration metric across modes; "pivots" sums master simplex
+      // iterations over every master (re-)solve.
+      .set("mt_sep_rounds", exact.separation_rounds)
+      .set("mt_pivots", exact.master_pivots)
+      .set("mt_cuts", exact.cuts_separated)
+      .set("st_ms", st.solve_ms)
+      .set("st_optimal", st.optimal)
+      .set("st_sep_rounds", st.separation_rounds)
+      .set("st_pivots", st.master_pivots)
+      .set("st_cuts", st.cuts_separated)
+      .set("st_pool_hits", st.cuts_from_pool)
+      .set("st_accepted", st.num_accepted())
       .set("kac_ms", kac.solve_ms)
       .set("kac_gap_pct", gap_pct)
       .set("benders_accepted", exact.num_accepted())

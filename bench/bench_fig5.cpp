@@ -91,7 +91,12 @@ int main() {
                     .set("gain_pct", gain)
                     .set("accepted", r.accepted)
                     .set("violation_prob", r.violation_prob)
-                    .set("epochs", r.epochs);
+                    .set("epochs", r.epochs)
+                    // Cut-machinery counters, summed over the scenario's
+                    // admission solves (all zero for KAC).
+                    .set("cuts", r.cuts_separated)
+                    .set("cuts_evicted", r.cuts_evicted)
+                    .set("sep_rounds", r.separation_rounds);
                 row.print();
               });
             }

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Gate on the single-tree Benders convergence advantage.
+
+Reads `bench_convergence` output (file argument or stdin), sums the
+cut-machinery columns over every `convergence` row, and fails unless the
+single-tree Branch-and-Benders-cut mode converges with measurably less
+work than the classic multi-tree loop:
+
+  * strictly fewer slave separation rounds in total (`st_sep_rounds` vs
+    `mt_sep_rounds`) — pooled cuts and in-tree incumbent verification
+    must replace whole multi-tree outer iterations;
+  * total master simplex pivots within --pivot-slack of the multi-tree
+    count (`st_pivots` vs `mt_pivots`).  On tiny instances both modes
+    converge in a couple of rounds and pivots tie to within one; on the
+    larger grid points single-tree wins 2-3x, so the slack only forgives
+    the tie, never a real regression;
+  * single-tree must stay optimal on every instance the multi-tree mode
+    proved optimal.
+
+Appends a readable summary to $GITHUB_STEP_SUMMARY when set.
+"""
+
+import argparse
+import os
+import sys
+
+
+def parse_rows(lines):
+    rows = []
+    for line in lines:
+        parts = line.split()
+        if not parts or parts[0] != "convergence":
+            continue
+        row = {}
+        for kv in parts[1:]:
+            if "=" not in kv:
+                continue
+            key, value = kv.split("=", 1)
+            row[key] = value
+        rows.append(row)
+    return rows
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("report", nargs="?", help="bench_convergence output (default: stdin)")
+    ap.add_argument("--pivot-slack", type=float, default=0.10,
+                    help="allowed relative pivot overhead for single-tree "
+                         "(default 0.10)")
+    args = ap.parse_args()
+
+    if args.report:
+        with open(args.report, encoding="utf-8") as fh:
+            lines = fh.readlines()
+    else:
+        lines = sys.stdin.readlines()
+
+    rows = parse_rows(lines)
+    if not rows:
+        print("check_convergence_regression: no `convergence` rows found",
+              file=sys.stderr)
+        return 2
+
+    needed = ("mt_sep_rounds", "st_sep_rounds", "mt_pivots", "st_pivots")
+    for row in rows:
+        missing = [k for k in needed if k not in row]
+        if missing:
+            print(f"check_convergence_regression: row missing {missing}: {row}",
+                  file=sys.stderr)
+            return 2
+
+    mt_sep = sum(int(r["mt_sep_rounds"]) for r in rows)
+    st_sep = sum(int(r["st_sep_rounds"]) for r in rows)
+    mt_piv = sum(int(r["mt_pivots"]) for r in rows)
+    st_piv = sum(int(r["st_pivots"]) for r in rows)
+    lost_optimality = [
+        r for r in rows
+        if r.get("benders_optimal") == "true" and r.get("st_optimal") != "true"
+    ]
+
+    failures = []
+    if st_sep >= mt_sep:
+        failures.append(
+            f"single-tree separation rounds did not drop: {st_sep} >= {mt_sep}")
+    if st_piv > mt_piv * (1.0 + args.pivot_slack):
+        failures.append(
+            f"single-tree master pivots regressed: {st_piv} > "
+            f"{mt_piv} * {1.0 + args.pivot_slack:.2f}")
+    for r in lost_optimality:
+        failures.append(
+            f"single-tree lost optimality at num_bs={r.get('num_bs')} "
+            f"tenants={r.get('tenants')}")
+
+    summary = [
+        "### Benders convergence: single-tree vs multi-tree",
+        "",
+        "| metric | multi-tree | single-tree |",
+        "|---|---|---|",
+        f"| slave separation rounds | {mt_sep} | {st_sep} |",
+        f"| master simplex pivots | {mt_piv} | {st_piv} |",
+        f"| instances ({len(rows)}) optimal | "
+        f"{sum(r.get('benders_optimal') == 'true' for r in rows)} | "
+        f"{sum(r.get('st_optimal') == 'true' for r in rows)} |",
+        "",
+        "PASS" if not failures else "FAIL: " + "; ".join(failures),
+    ]
+    text = "\n".join(summary)
+    print(text)
+    step_summary = os.environ.get("GITHUB_STEP_SUMMARY")
+    if step_summary:
+        with open(step_summary, "a", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+
+    if failures:
+        for f in failures:
+            print("check_convergence_regression: " + f, file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,10 +4,12 @@
 #include <chrono>
 #include <cmath>
 #include <map>
+#include <memory>
 #include <stdexcept>
 #include <string>
 
 #include "exec/thread_pool.hpp"
+#include "solver/cut_pool.hpp"
 
 namespace ovnes::acrr {
 
@@ -224,8 +226,170 @@ double evaluate_objective(const AcrrInstance& inst,
   return obj;
 }
 
+namespace {
+
+/// Single-tree Branch-and-Benders-cut: the master is built once and solved
+/// by ONE branch-and-bound run in which every integer-feasible candidate
+/// (and fractional root points) is verified by the slave through the
+/// MilpOptions::lazy_cuts hook. Rejection cuts land in the shared CutPool
+/// and reach every lane; a pooled cut that already rejects a later
+/// candidate skips its slave solve entirely. Persistent-LU/dual-simplex
+/// state survives for the whole solve instead of dying at each outer
+/// iteration boundary.
+AdmissionResult solve_benders_single_tree(const AcrrInstance& inst,
+                                          const BendersOptions& opts) {
+  using namespace ovnes::solver;
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto elapsed = [&t0] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+        .count();
+  };
+
+  detail::MasterModel master = detail::build_master(inst, /*with_theta=*/true);
+  LpSession msession(std::move(master.lp), opts.master.lp);
+  SlaveProblem slave(inst);
+  // Magnanti–Wong core slave: its own instance so the core activation does
+  // not thrash `slave`'s cached session for the candidate vectors.
+  SlaveProblem core_slave(inst);
+  const bool deficit = inst.config().allow_deficit;
+  const auto& vars = inst.vars();
+
+  const auto first_stage_cost = [&vars](const std::vector<char>& x_active) {
+    double cost = 0.0;
+    for (std::size_t j = 0; j < x_active.size(); ++j) {
+      if (x_active[j]) {
+        const VarInfo& v = vars[j];
+        cost += v.sla * v.w - v.reward_share;
+      }
+    }
+    return cost;
+  };
+
+  CutPool owned_pool;
+  CutPool* pool = opts.cut_pool != nullptr ? opts.cut_pool : &owned_pool;
+
+  // Callback state: mutated only under the solver's separation lock (the
+  // LazyCutCallback serialization contract), read again after solve_milp
+  // returns with every lane quiesced.
+  double ub = kInf;
+  std::vector<char> best_active;
+  std::vector<double> best_z;
+  double best_deficit = 0.0;
+  std::vector<char> core(vars.size(), 0);  ///< union of feasible candidates
+  bool core_seen = false;
+  long slave_calls = 0;
+  long mw_cuts = 0;
+
+  // BendersCut -> master row:  constant + Σ coef·x (− θ) <= 0.
+  const auto to_row = [&master](const BendersCut& cut, std::string name) {
+    Rowdef row;
+    row.name = std::move(name);
+    row.sense = RowSense::LessEq;
+    row.rhs = -cut.constant;
+    if (cut.optimality) row.coefs.push_back({master.theta_col, -1.0});
+    for (const auto& [j, c] : cut.coefs) {
+      row.coefs.push_back({master.x_col[static_cast<size_t>(j)], c});
+    }
+    return row;
+  };
+  const auto violation = [&master](const BendersCut& cut,
+                                   const std::vector<double>& mx) {
+    double lhs = cut.constant;
+    for (const auto& [j, c] : cut.coefs) {
+      lhs += c * mx[static_cast<size_t>(master.x_col[static_cast<size_t>(j)])];
+    }
+    if (cut.optimality) lhs -= mx[static_cast<size_t>(master.theta_col)];
+    return lhs;  // > 0: the master point violates the cut
+  };
+
+  MilpOptions mopts = opts.master;
+  // One tree gets the whole Benders budget (the classic loop splits it
+  // into per-iteration master solves).
+  mopts.time_limit_sec = opts.time_limit_sec;
+  mopts.cut_pool = pool;
+  // Root fractional separation is intrinsic to the mode (SCIP's benderslp):
+  // master.max_lp_cut_rounds still tunes how many rounds.
+  mopts.benders_lp_cuts = true;
+  mopts.lazy_cuts = [&](const LazyCutContext& ctx) -> LazyCutResult {
+    LazyCutResult out;
+    const std::vector<char> active = detail::extract_active(master, ctx.x);
+    const SlaveResult sr = slave.solve(active, deficit, opts.warm_start);
+    ++slave_calls;
+    if (!sr.feasible && sr.cut.coefs.empty() && sr.cut.constant <= 0.0) {
+      // Slave failed without a certificate (iteration limit): no valid cut
+      // exists to reject the candidate, and accepting it unverified could
+      // prune the true optimum — abandon the node conservatively (the
+      // solver folds its bound into best_bound and drops Optimal claims).
+      out.abandon = true;
+      return out;
+    }
+    if (sr.feasible) {
+      // Any feasible slave prices a complete admission: a valid upper
+      // bound whether or not the candidate survives (Algorithm 1 line 12).
+      const double gamma = first_stage_cost(active) + sr.objective;
+      if (gamma < ub) {
+        ub = gamma;
+        best_active = active;
+        best_z = sr.z;
+        best_deficit = sr.deficit;
+      }
+      for (std::size_t j = 0; j < core.size(); ++j) {
+        core[j] = static_cast<char>(core[j] | active[j]);
+      }
+      core_seen = true;
+    }
+    // Acceptance mirrors the classic relative convergence test: the
+    // candidate's θ̄ must cover the slave optimum to within ε·(1+|obj|).
+    const double tol = opts.epsilon * (1.0 + std::abs(ctx.objective));
+    if (violation(sr.cut, ctx.x) <= tol) return out;  // survives
+    out.cuts.push_back(to_row(
+        sr.cut, (sr.cut.optimality ? "optcut" : "feascut") +
+                    std::to_string(slave_calls)));
+    // Magnanti–Wong strengthening: also price the core (union) activation.
+    // Cuts are valid at ANY activation (acrr/slave.hpp), and the denser
+    // core prices resources this candidate leaves idle. Its cut rarely
+    // cuts the candidate itself, so it goes straight to the pool — the
+    // permanent lane sync distributes it — instead of the rejection loop.
+    if (opts.magnanti_wong && ctx.integral && core_seen && core != active) {
+      const SlaveResult cr = core_slave.solve(core, deficit, opts.warm_start);
+      if (cr.feasible || !cr.cut.coefs.empty() || cr.cut.constant > 0.0) {
+        if (pool->add(to_row(cr.cut, "mwcut" + std::to_string(slave_calls)))) {
+          ++mw_cuts;
+        }
+      }
+    }
+    return out;
+  };
+
+  const MilpResult mr = solve_milp(msession, mopts);
+
+  AdmissionResult res;
+  if (best_active.empty()) {
+    res.admitted.assign(inst.tenants().size(), std::nullopt);
+  } else {
+    res = detail::assemble_result(inst, best_active, best_z);
+  }
+  const double lb = mr.best_bound;  // master bound, θ included — a true LB
+  res.objective = ub == kInf ? 0.0 : ub;
+  res.bound = lb;
+  // One slave solve here plays the role of one classic outer iteration.
+  res.iterations = static_cast<int>(slave_calls);
+  res.solve_ms = elapsed() * 1e3;
+  res.optimal = ub < kInf && ub - lb <= opts.epsilon * (1.0 + std::abs(ub));
+  res.deficit = best_deficit;
+  res.cuts_separated = mr.cuts_separated + mw_cuts;
+  res.cuts_from_pool = mr.cuts_from_pool;
+  res.cuts_evicted = mr.cuts_evicted;
+  res.separation_rounds = mr.separation_rounds;
+  res.master_pivots = mr.lp_iterations;
+  return res;
+}
+
+}  // namespace
+
 AdmissionResult solve_benders(const AcrrInstance& inst,
                               const BendersOptions& opts) {
+  if (opts.single_tree) return solve_benders_single_tree(inst, opts);
   using namespace ovnes::solver;
   const auto t0 = std::chrono::steady_clock::now();
   const auto elapsed = [&t0] {
@@ -240,6 +404,38 @@ AdmissionResult solve_benders(const AcrrInstance& inst,
   // with dual simplex — the cut leaves it dual-feasible — instead of the
   // artificial-repair Phase 1 the old Basis plumbing went through.
   LpSession msession(std::move(master.lp), opts.master.lp);
+  // Inactive-cut purge (purge_inactive_cuts > 0): all cut rows live in one
+  // session frame; a cut whose slack stays basic — the row inactive at the
+  // master root optimum — for k consecutive iterations is retired by
+  // rebuilding the frame with the survivors. Bookkeeping mirrors rows
+  // [base_rows, ∞) so the frame can be rebuilt and a reduced warm basis
+  // hand-assembled (row truncation invalidates the old one).
+  const bool purging = opts.purge_inactive_cuts > 0;
+  const int base_rows = msession.model().num_rows();
+  const int master_vars = msession.model().num_vars();
+  struct CutRow {
+    solver::Rowdef row;
+    int idle = 0;
+  };
+  std::vector<CutRow> cut_rows;
+  if (purging) msession.push();
+  long cuts_appended = 0;
+  long master_pivots = 0;
+  long cuts_purged = 0;
+  long slave_rounds = 0;
+  const auto append_cut = [&](std::string name, RowSense sense, double rhs,
+                              std::vector<Coef> coefs) {
+    if (purging) {
+      CutRow c;
+      c.row.name = name;
+      c.row.sense = sense;
+      c.row.rhs = rhs;
+      c.row.coefs = coefs;
+      cut_rows.push_back(std::move(c));
+    }
+    msession.add_cut(std::move(name), sense, rhs, std::move(coefs));
+    ++cuts_appended;
+  };
   SlaveProblem slave(inst);
   // One extra SlaveProblem per probed tenant, created lazily and reused
   // across iterations so each keeps its own warm-basis cache — the
@@ -284,6 +480,7 @@ AdmissionResult solve_benders(const AcrrInstance& inst,
     // itself; without warm_start it cold-solves like the pre-session loop.
     if (!opts.warm_start) msession.clear_basis();
     const MilpResult mr = solve_milp(msession, mopts);
+    master_pivots += mr.lp_iterations;
     if (mr.status == MilpStatus::Infeasible) {
       // Structurally infeasible master (e.g. conflicting pinned slices
       // without the §3.4 relaxation): report an empty admission.
@@ -301,6 +498,53 @@ AdmissionResult solve_benders(const AcrrInstance& inst,
     // folds dropped limit-hit nodes into best_bound conservatively).
     if (mr.status == MilpStatus::NoSolution) break;
     lb = std::max(lb, mr.best_bound);
+
+    if (purging && !mr.root_basis.empty() &&
+        mr.root_basis.status.size() ==
+            static_cast<std::size_t>(master_vars) +
+                static_cast<std::size_t>(base_rows) + cut_rows.size()) {
+      // Age every cut by its root-basis row status (slack basic == the row
+      // was inactive at this iteration's master optimum) and, once any
+      // streak reaches k, rebuild the cut frame with the survivors. A
+      // purged cut the master ever needs again simply re-separates.
+      const auto& st = mr.root_basis.status;
+      const auto row_status = [&](std::size_t i) {
+        return st[static_cast<std::size_t>(master_vars) +
+                  static_cast<std::size_t>(base_rows) + i];
+      };
+      bool purge_now = false;
+      for (std::size_t i = 0; i < cut_rows.size(); ++i) {
+        if (row_status(i) == Basis::Status::Basic) {
+          if (++cut_rows[i].idle >= opts.purge_inactive_cuts) purge_now = true;
+        } else {
+          cut_rows[i].idle = 0;
+        }
+      }
+      if (purge_now) {
+        // Reduced warm basis: variable + structural-row statuses carry
+        // over; surviving cut rows keep theirs, purged rows vanish.
+        Basis wb;
+        wb.num_vars = master_vars;
+        wb.status.assign(st.begin(),
+                         st.begin() + master_vars + base_rows);
+        std::vector<CutRow> kept;
+        kept.reserve(cut_rows.size());
+        for (std::size_t i = 0; i < cut_rows.size(); ++i) {
+          if (cut_rows[i].idle >= opts.purge_inactive_cuts) {
+            ++cuts_purged;
+            continue;
+          }
+          wb.status.push_back(row_status(i));
+          kept.push_back(std::move(cut_rows[i]));
+        }
+        msession.pop();   // truncate every cut row (frame opened above)
+        msession.push();  // reopen the frame for the survivors
+        for (const CutRow& c : kept) msession.add_cut(c.row);
+        wb.num_rows = base_rows + static_cast<int>(kept.size());
+        msession.set_warm_basis(std::make_shared<const Basis>(std::move(wb)));
+        cut_rows = std::move(kept);
+      }
+    }
 
     const std::vector<char> active = detail::extract_active(master, mr.x);
 
@@ -342,6 +586,7 @@ AdmissionResult solve_benders(const AcrrInstance& inst,
                      .solve(probe_x[p - 1], deficit, opts.warm_start);
       }
     });
+    slave_rounds += static_cast<long>(srs.size());
 
     const SlaveResult& sr = srs[0];
     // A vacuous cut (no coefficients, non-positive constant) cannot
@@ -366,16 +611,16 @@ AdmissionResult solve_benders(const AcrrInstance& inst,
       for (const auto& [j, c] : sr.cut.coefs) {
         coefs.push_back({master.x_col[static_cast<size_t>(j)], c});
       }
-      msession.add_cut("optcut" + std::to_string(iter), RowSense::LessEq,
-                        -sr.cut.constant, std::move(coefs));
+      append_cut("optcut" + std::to_string(iter), RowSense::LessEq,
+                 -sr.cut.constant, std::move(coefs));
     } else if (!vacuous_stop) {
       // Feasibility cut (22): const + Σ coef·x <= 0.
       std::vector<Coef> coefs;
       for (const auto& [j, c] : sr.cut.coefs) {
         coefs.push_back({master.x_col[static_cast<size_t>(j)], c});
       }
-      msession.add_cut("feascut" + std::to_string(iter), RowSense::LessEq,
-                        -sr.cut.constant, std::move(coefs));
+      append_cut("feascut" + std::to_string(iter), RowSense::LessEq,
+                 -sr.cut.constant, std::move(coefs));
     }
 
     // ---- Probe cuts, appended in tenant order (deterministic). A probe
@@ -397,16 +642,16 @@ AdmissionResult solve_benders(const AcrrInstance& inst,
         for (const auto& [j, c] : pr.cut.coefs) {
           coefs.push_back({master.x_col[static_cast<size_t>(j)], c});
         }
-        msession.add_cut("optcut" + suffix, RowSense::LessEq,
-                          -pr.cut.constant, std::move(coefs));
+        append_cut("optcut" + suffix, RowSense::LessEq, -pr.cut.constant,
+                   std::move(coefs));
       } else {
         if (pr.cut.coefs.empty() && pr.cut.constant <= 0.0) continue;
         std::vector<Coef> coefs;
         for (const auto& [j, c] : pr.cut.coefs) {
           coefs.push_back({master.x_col[static_cast<size_t>(j)], c});
         }
-        msession.add_cut("feascut" + suffix, RowSense::LessEq,
-                          -pr.cut.constant, std::move(coefs));
+        append_cut("feascut" + suffix, RowSense::LessEq, -pr.cut.constant,
+                   std::move(coefs));
       }
     }
 
@@ -432,6 +677,10 @@ AdmissionResult solve_benders(const AcrrInstance& inst,
   res.solve_ms = elapsed() * 1e3;
   res.optimal = ub < kInf && ub - lb <= opts.epsilon * (1.0 + std::abs(ub));
   res.deficit = best_deficit;
+  res.cuts_separated = cuts_appended;
+  res.cuts_evicted = cuts_purged;
+  res.separation_rounds = slave_rounds;
+  res.master_pivots = master_pivots;
   return res;
 }
 

@@ -20,6 +20,10 @@ namespace ovnes::exec {
 class ThreadPool;
 }  // namespace ovnes::exec
 
+namespace ovnes::solver {
+class CutPool;  // solver/cut_pool.hpp
+}  // namespace ovnes::solver
+
 namespace ovnes::acrr {
 
 struct BendersOptions {
@@ -48,6 +52,34 @@ struct BendersOptions {
   /// search may return a different optimal x̄ and fork the cut
   /// trajectory, which would break run-to-run determinism.
   exec::ThreadPool* pool = nullptr;
+  /// Single-tree Branch-and-Benders-cut: build the master once and run ONE
+  /// branch-and-bound in which slave cuts are separated lazily at every
+  /// integer-feasible candidate (MilpOptions::lazy_cuts), instead of
+  /// re-solving the master MILP from scratch each outer iteration. The
+  /// kept-LU / dual-steepest-edge machinery then persists across what used
+  /// to be tree boundaries. false (default) keeps the classic multi-tree
+  /// loop and its byte-identical paper trajectories. In single-tree mode
+  /// `master.threads` is honored as-is: > 1 relaxes *trajectory*
+  /// determinism (which cuts, in which order) but never the admission
+  /// objective — incumbents are separation-verified (see docs/solver.md).
+  bool single_tree = false;
+  /// Magnanti–Wong style cut strengthening, single-tree only: alongside
+  /// each rejected candidate's cut, also solve the slave at a *core*
+  /// activation (the running union of feasible candidates seen so far) on
+  /// a dedicated SlaveProblem and pool that cut too. Cuts are valid at any
+  /// activation (acrr/slave.hpp), and the denser core prices resources the
+  /// candidate leaves idle — the classic "pareto-optimal cut" effect
+  /// without a fractional core point (the slave takes binary activations).
+  bool magnanti_wong = true;
+  /// Classic multi-tree loop: retire master cut rows whose slack stayed
+  /// basic (row inactive at the master optimum) for this many consecutive
+  /// iterations; the master re-derives a purged cut through separation if
+  /// it ever matters again. 0 (default) disables purging, keeping the
+  /// paper-figure trajectories byte-identical.
+  int purge_inactive_cuts = 0;
+  /// Cut pool for single-tree mode, shared with the caller (not owned;
+  /// e.g. across re-solves of a cut-round session). Null: private pool.
+  solver::CutPool* cut_pool = nullptr;
 };
 
 /// Solve Problem 2 to (near-)optimality via Algorithm 1.

@@ -118,6 +118,12 @@ struct AdmissionResult {
   bool optimal = false;
   /// §3.4 deficit (big-M) usage, nonzero only under forced admission.
   double deficit = 0.0;
+  // -- Benders cut-machinery counters (zero for non-Benders solvers).
+  long cuts_separated = 0;   ///< cuts admitted to the pool / master
+  long cuts_from_pool = 0;   ///< candidates rejected by a pooled cut (no slave solve)
+  long cuts_evicted = 0;     ///< cuts aged/purged out of the active set
+  long separation_rounds = 0;///< slave separation invocations
+  long master_pivots = 0;    ///< master simplex iterations, all solves summed
 
   [[nodiscard]] std::size_t num_accepted() const;
   /// Σ rewards of accepted tenants (per epoch).

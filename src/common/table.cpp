@@ -31,6 +31,10 @@ Row& Row::set(const std::string& key, int value) {
   return set(key, std::to_string(value));
 }
 
+Row& Row::set(const std::string& key, long value) {
+  return set(key, std::to_string(value));
+}
+
 Row& Row::set(const std::string& key, std::size_t value) {
   return set(key, std::to_string(value));
 }

@@ -18,6 +18,7 @@ class Row {
   Row& set(const std::string& key, const std::string& value);
   Row& set(const std::string& key, double value);
   Row& set(const std::string& key, int value);
+  Row& set(const std::string& key, long value);
   Row& set(const std::string& key, std::size_t value);
   Row& set(const std::string& key, bool value);
 

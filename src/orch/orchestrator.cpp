@@ -151,6 +151,10 @@ EpochReport Simulation::run_epoch() {
     const acrr::AdmissionResult result = dispatch_solver(inst, !active_.empty());
     report.solve_ms = result.solve_ms;
     report.deficit = result.deficit;
+    report.cuts_separated = result.cuts_separated;
+    report.cuts_from_pool = result.cuts_from_pool;
+    report.cuts_evicted = result.cuts_evicted;
+    report.separation_rounds = result.separation_rounds;
 
     // Update pinned actives with fresh reservations.
     for (std::size_t i = 0; i < active_.size(); ++i) {

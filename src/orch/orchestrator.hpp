@@ -86,6 +86,12 @@ struct EpochReport {
   std::size_t violations = 0;           ///< violating samples this epoch
   double solve_ms = 0.0;
   double deficit = 0.0;
+  // Benders cut-machinery counters for this epoch's admission solve
+  // (zero for non-Benders solvers; see acrr::AdmissionResult).
+  long cuts_separated = 0;
+  long cuts_from_pool = 0;
+  long cuts_evicted = 0;
+  long separation_rounds = 0;
   /// Southbound enforcement calls the domain controllers refused. Always 0
   /// unless the §3.4 deficit is active (leased/federated capacity is not
   /// modelled in the controllers' physical inventories).

@@ -78,6 +78,10 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
   for (std::size_t e = 0; e < cfg.max_epochs; ++e) {
     const EpochReport rep = sim.run_epoch();
     revenue.add(rep.net_revenue);
+    out.cuts_separated += rep.cuts_separated;
+    out.cuts_from_pool += rep.cuts_from_pool;
+    out.cuts_evicted += rep.cuts_evicted;
+    out.separation_rounds += rep.separation_rounds;
     if (e == 0) {
       out.accepted = rep.accepted.size();
       out.solve_ms = rep.solve_ms;

@@ -53,6 +53,12 @@ struct ScenarioResult {
   double max_drop_fraction = 0.0;
   double solve_ms = 0.0;          ///< admission solve wall time
   double deficit = 0.0;
+  // Benders cut counters, summed over the scenario's admission solves
+  // (zero for non-Benders solvers).
+  long cuts_separated = 0;
+  long cuts_from_pool = 0;
+  long cuts_evicted = 0;
+  long separation_rounds = 0;
 };
 
 /// Convenience: n identical tenants.

@@ -12,6 +12,7 @@
 #include <tuple>
 
 #include "exec/thread_pool.hpp"
+#include "solver/cut_pool.hpp"
 
 namespace ovnes::solver {
 
@@ -77,6 +78,15 @@ struct BnbShared {
   /// Warm handle for the root node (and the dive): the caller session's
   /// incumbent basis, or a shared copy of MilpOptions::warm_start.
   SharedBasis root_warm;
+  /// Shared cut pool, non-null iff opts.lazy_cuts is set (caller-supplied
+  /// or owned by run()'s frame — either way it outlives every node hold,
+  /// the same lifetime argument as `base`).
+  CutPool* cuts = nullptr;
+  /// Serializes lazy-cut callback invocations: the callback contract lets
+  /// it keep unsynchronized per-decomposition state (slave sessions, core
+  /// points). Separate from `mu` — separation runs slave LPs and must not
+  /// stall the incumbent/pool bookkeeping of other lanes.
+  std::mutex sep_mu;
 
   std::mutex mu;
   std::condition_variable cv;
@@ -90,6 +100,10 @@ struct BnbShared {
   std::vector<double> best_x;
   long nodes = 0;
   long lp_iterations = 0;
+  // Lazy-cut observability (MilpResult mirrors these at compose time).
+  long cuts_separated = 0;
+  long cuts_from_pool = 0;
+  long separation_rounds = 0;
   bool hit_limit = false;
   bool unbounded = false;
   bool root_solved = false;
@@ -148,6 +162,48 @@ void round_integers(const std::vector<int>& int_vars, std::vector<double>& x) {
   }
 }
 
+/// \brief One separation attempt at an LP point (lazy-cut runs only).
+///
+/// Pool lookup first — a pooled row violated at `x` rejects the candidate
+/// without invoking the callback (no slave solve) — then the serialized
+/// callback. Appends nothing: the caller owns how rows enter its session
+/// (in-frame for node separation, permanent for the dive). Counters are
+/// returned for the caller to publish under its own locking discipline.
+struct SeparationStep {
+  std::vector<Rowdef> rows;  ///< violated rows to append (empty = accept)
+  bool from_pool = false;    ///< rows came from the pool; no callback ran
+  bool called = false;       ///< callback was invoked (one separation round)
+  bool abandon = false;      ///< callback failed without a certificate
+  long fresh = 0;            ///< rows newly admitted to the pool
+};
+
+SeparationStep separate_candidate(BnbShared& sh, const LpResult& lp,
+                                  bool integral) {
+  SeparationStep step;
+  step.rows = sh.cuts->violated_at(lp.x);
+  if (!step.rows.empty()) {
+    step.from_pool = true;
+    return step;
+  }
+  LazyCutResult sep;
+  {
+    std::lock_guard<std::mutex> lk(sh.sep_mu);
+    sep = sh.opts.lazy_cuts(LazyCutContext{lp.x, lp.objective, integral});
+  }
+  step.called = true;
+  if (sep.abandon) {
+    step.abandon = true;
+    return step;
+  }
+  for (Rowdef& r : sep.cuts) {
+    Rowdef pooled = r;  // the pool normalizes its copy; callers append
+    if (sh.cuts->add(std::move(pooled))) ++step.fresh;  // the original
+    step.rows.push_back(std::move(r));
+  }
+  sh.cuts->advance_round();
+  return step;
+}
+
 /// OVNES_MILP_DEBUG diagnostics for an integral node whose solution still
 /// violates the model. `work` carries the node's bounds (still applied).
 void debug_integral_violation(const LpModel& work, const MilpOptions& opts,
@@ -188,7 +244,8 @@ void debug_integral_violation(const LpModel& work, const MilpOptions& opts,
 /// `done` no node is ever acquired, so a lane task that starts late never
 /// touches a caller model that may already be gone.
 bool evaluate_node(BnbShared& sh, Node& node,
-                   std::optional<LpSession>& sess) {
+                   std::optional<LpSession>& sess,
+                   std::size_t& pool_version) {
   const LpModel& base = *sh.base;
   const MilpOptions& opts = sh.opts;
 
@@ -231,6 +288,14 @@ bool evaluate_node(BnbShared& sh, Node& node,
       lane_lp.keep_factors = false;
       sess.emplace(base, lane_lp);
     }
+    if (sh.cuts != nullptr) {
+      // Permanent lane sync, at frame depth 0: rows other lanes pooled
+      // since this lane's last node join the lane model for good. Cuts
+      // are globally valid, so bounds of nodes evaluated earlier remain
+      // valid relaxations — they merely lacked these rows.
+      auto fresh_rows = sh.cuts->fetch_new(pool_version);
+      for (Rowdef& r : fresh_rows) sess->add_cut(std::move(r));
+    }
     sess->push();
     for (const auto& [var, lo, hi] : node.fixes) sess->set_bounds(var, lo, hi);
     sess->set_warm_basis(node.warm);
@@ -245,29 +310,112 @@ bool evaluate_node(BnbShared& sh, Node& node,
     }
     child_basis = sess->basis();
   }
-  const LpResult& lp = *lp_ptr;
-
   int frac = -1;
-  if (lp.status == LpStatus::Optimal) {
-    frac = pick_branch_var(base, sh.int_vars, opts.int_tol, lp.x);
+  if (lp_ptr->status == LpStatus::Optimal) {
+    frac = pick_branch_var(base, sh.int_vars, opts.int_tol, lp_ptr->x);
     if (frac < 0 && !opts.copy_node_models &&
         std::getenv("OVNES_MILP_DEBUG") != nullptr &&
-        sess->model().max_violation(lp.x) > 1e-5) {
-      debug_integral_violation(sess->model(), opts, lp);
+        sess->model().max_violation(lp_ptr->x) > 1e-5) {
+      debug_integral_violation(sess->model(), opts, *lp_ptr);
     }
   }
+
+  // ---- Lazy separation (session path only; copy_node_models is forced
+  // off when lazy_cuts is set). Cuts are appended *in-frame*: they steer
+  // this node's re-solves and vanish at pop(); the permanent copy reaches
+  // every lane (this one included) through the pool sync above. Each
+  // re-solve starts from the previous optimal basis, i.e. the add_cut
+  // dual-simplex path.
+  bool sep_dropped = false;
+  long sep_rounds = 0, sep_new = 0, sep_pool = 0, sep_resolves = 0;
+  long extra_lp_iters = 0;
+  if (sh.cuts != nullptr && !opts.copy_node_models &&
+      lp_ptr->status == LpStatus::Optimal) {
+    const auto resolve = [&] {
+      extra_lp_iters += lp_ptr->iterations;  // bank the superseded solve
+      ++sep_resolves;
+      lp_ptr = &sess->solve();
+      frac = -1;
+      if (lp_ptr->status == LpStatus::Optimal) {
+        frac = pick_branch_var(base, sh.int_vars, opts.int_tol, lp_ptr->x);
+        child_basis = sess->basis();
+      }
+    };
+    // Fractional root rounds (SCIP's benderslp idea): tighten the root
+    // bound with callback cuts before any branching happens.
+    if (opts.benders_lp_cuts && node.fixes.empty()) {
+      for (int round = 0; round < opts.max_lp_cut_rounds; ++round) {
+        if (frac < 0 || lp_ptr->status != LpStatus::Optimal) break;
+        if (elapsed_sec(sh.t0) > opts.time_limit_sec) break;
+        SeparationStep step = separate_candidate(sh, *lp_ptr, false);
+        sep_rounds += step.called ? 1 : 0;
+        sep_new += step.fresh;
+        sep_pool += step.from_pool ? static_cast<long>(step.rows.size()) : 0;
+        if (step.abandon || step.rows.empty()) break;
+        for (Rowdef& r : step.rows) sess->add_cut(std::move(r));
+        resolve();
+      }
+    }
+    // Integral acceptance gate: a candidate becomes an incumbent only if
+    // separation returns no violated row. Every re-solve consumes node
+    // budget like a dive step, so repeated rejections terminate; any
+    // limit hit mid-separation drops the node conservatively (its parent
+    // bound folds into best_bound at publish, and the solve can no longer
+    // claim Optimal).
+    while (frac < 0 && lp_ptr->status == LpStatus::Optimal) {
+      bool over_budget;
+      bool hopeless;
+      {
+        std::lock_guard<std::mutex> lk(sh.mu);
+        over_budget = sh.nodes + sep_resolves >= opts.max_nodes;
+        // A candidate no better than the incumbent is pruned at publish
+        // regardless of the separation verdict (cuts only push its
+        // objective up): skip the slave solves.
+        hopeless = lp_ptr->objective >= sh.incumbent - sh.absolute_gap();
+      }
+      if (hopeless) break;
+      if (over_budget || elapsed_sec(sh.t0) > opts.time_limit_sec ||
+          sep_rounds >= opts.max_separation_rounds) {
+        sep_dropped = true;
+        break;
+      }
+      SeparationStep step = separate_candidate(sh, *lp_ptr, true);
+      sep_rounds += step.called ? 1 : 0;
+      sep_new += step.fresh;
+      sep_pool += step.from_pool ? static_cast<long>(step.rows.size()) : 0;
+      if (step.abandon) {
+        sep_dropped = true;
+        break;
+      }
+      if (step.rows.empty()) break;  // candidate survives separation
+      for (Rowdef& r : step.rows) sess->add_cut(std::move(r));
+      resolve();
+    }
+  }
+  const LpResult& lp = *lp_ptr;
 
   // ---- Publish the outcome.
   bool keep_going;
   {
     std::unique_lock<std::mutex> lk(sh.mu);
-    sh.lp_iterations += lp.iterations;
+    sh.lp_iterations += lp.iterations + extra_lp_iters;
+    sh.nodes += sep_resolves;  // separation re-solves consume node budget
+    sh.cuts_separated += sep_new;
+    sh.cuts_from_pool += sep_pool;
+    sh.separation_rounds += sep_rounds;
     if (!sh.root_solved && lp.status == LpStatus::Optimal) {
       sh.root_bound = lp.objective;
       sh.root_solved = true;
       sh.root_basis = lp.basis;
     }
-    switch (lp.status) {
+    if (sep_dropped) {
+      // Node abandoned mid-separation (limit or certificate-less slave):
+      // same conservative accounting as an LP iteration-limit node — the
+      // unverified candidate is NOT accepted and the subtree's bound stays
+      // in best_bound.
+      sh.hit_limit = true;
+      sh.dropped_bound = std::min(sh.dropped_bound, node.parent_bound);
+    } else switch (lp.status) {
       case LpStatus::Infeasible:
         break;  // dead branch
       case LpStatus::Unbounded:
@@ -335,6 +483,7 @@ bool evaluate_node(BnbShared& sh, Node& node,
 void bnb_lane(const std::shared_ptr<BnbShared>& sh) {
   const MilpOptions& opts = sh->opts;
   std::optional<LpSession> sess;  // lane-private, created on first node
+  std::size_t pool_version = 0;   // cut-pool log position this lane synced
 
   for (;;) {
     Node node;
@@ -372,7 +521,7 @@ void bnb_lane(const std::shared_ptr<BnbShared>& sh) {
     // std::terminate.
     bool keep_going;
     try {
-      keep_going = evaluate_node(*sh, node, sess);
+      keep_going = evaluate_node(*sh, node, sess, pool_version);
     } catch (...) {
       std::lock_guard<std::mutex> lk(sh->mu);
       if (sh->error == nullptr) sh->error = std::current_exception();
@@ -395,9 +544,21 @@ class BranchAndBound {
   MilpResult run() {
     MilpResult res;
     const auto t0 = std::chrono::steady_clock::now();
+    if (opts_.lazy_cuts) {
+      // Lazy separation needs the session path's permanent lane-level cut
+      // sync; the copy path has no per-lane model to sync cuts into.
+      opts_.copy_node_models = false;
+      if (opts_.cut_pool == nullptr) owned_pool_.emplace();
+    }
     auto sh = std::make_shared<BnbShared>();
     sh->base = &base_;
     sh->opts = opts_;
+    if (opts_.lazy_cuts) {
+      // Like `base`, the pool is only dereferenced while a lane holds a
+      // node, so run()'s frame (or the caller, for cut_pool) outlives
+      // every access even with queued-but-unstarted lane tasks.
+      sh->cuts = opts_.cut_pool != nullptr ? opts_.cut_pool : &*owned_pool_;
+    }
     sh->int_vars = int_vars_;
     sh->t0 = t0;
     if (opts_.warm_start != nullptr && !opts_.warm_start->empty()) {
@@ -466,6 +627,10 @@ class BranchAndBound {
     res.lp_iterations = static_cast<int>(sh->lp_iterations);
     res.root_basis = sh->root_basis;
     res.peak_open_nodes = sh->peak_open;
+    res.cuts_separated = sh->cuts_separated;
+    res.cuts_from_pool = sh->cuts_from_pool;
+    res.separation_rounds = sh->separation_rounds;
+    if (sh->cuts != nullptr) res.cuts_evicted = sh->cuts->stats().evicted;
     const bool hit_limit = sh->hit_limit || dive_hit_limit;
     if (sh->unbounded) {
       res.status = MilpStatus::NoSolution;
@@ -504,7 +669,20 @@ class BranchAndBound {
   void dive(BnbShared& sh, bool& dive_hit_limit) const {
     LpSession sess(base_, opts_.lp);
     sess.set_warm_basis(sh.root_warm);
-    for (std::size_t step = 0; step <= int_vars_.size(); ++step) {
+    if (sh.cuts != nullptr) {
+      // A caller-shared pool (MilpOptions::cut_pool) may carry cuts from
+      // earlier solves: give the dive the tightened model up front.
+      std::size_t version = 0;
+      auto pooled = sh.cuts->fetch_new(version);
+      for (Rowdef& r : pooled) sess.add_cut(std::move(r));
+    }
+    int sep_rounds = 0;
+    // Separation re-solves share the step budget: `continue` advances
+    // `step`, and every pass through the loop head counts a node against
+    // the shared limits like any other dive LP.
+    for (std::size_t step = 0;
+         step <= int_vars_.size() + static_cast<std::size_t>(sep_rounds);
+         ++step) {
       if (sh.nodes >= opts_.max_nodes ||
           elapsed_sec(sh.t0) > opts_.time_limit_sec) {
         dive_hit_limit = true;
@@ -522,6 +700,25 @@ class BranchAndBound {
       if (lp->status != LpStatus::Optimal) return;  // dead end
       const int frac = pick_branch_var(base_, int_vars_, opts_.int_tol, lp->x);
       if (frac < 0) {
+        if (sh.cuts != nullptr) {
+          // The dive seeds the incumbent, so its integral point passes the
+          // same acceptance gate as a lane candidate: an unseparated point
+          // (e.g. an under-estimated Benders theta) could wrongly prune
+          // the true optimum later. Cuts land permanently in the dive
+          // session (no frames here) and in the pool for the lanes.
+          if (sep_rounds >= opts_.max_separation_rounds) return;
+          SeparationStep s = separate_candidate(sh, *lp, true);
+          sh.separation_rounds += s.called ? 1 : 0;
+          sh.cuts_separated += s.fresh;
+          sh.cuts_from_pool += s.from_pool ? static_cast<long>(s.rows.size())
+                                           : 0;
+          if (s.abandon) return;  // no incumbent; the tree decides
+          if (!s.rows.empty()) {
+            ++sep_rounds;
+            for (Rowdef& r : s.rows) sess.add_cut(std::move(r));
+            continue;  // re-solve with the cuts enforced
+          }
+        }
         if (std::getenv("OVNES_MILP_DEBUG") != nullptr &&
             sess.model().max_violation(lp->x) > 1e-5) {
           std::fprintf(stderr, "MILP DEBUG dive: violates by %g (obj %g)\n",
@@ -543,6 +740,9 @@ class BranchAndBound {
   MilpOptions opts_;
   std::vector<int> int_vars_;
   LpSession* session_ = nullptr;  ///< not owned; see solve_milp(LpSession&)
+  /// Private pool for lazy-cut runs without a caller-supplied
+  /// MilpOptions::cut_pool; lives through run() (see BnbShared::cuts).
+  std::optional<CutPool> owned_pool_;
 };
 
 }  // namespace

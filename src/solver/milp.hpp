@@ -23,6 +23,7 @@
 #pragma once
 
 #include <chrono>
+#include <functional>
 #include <vector>
 
 #include "solver/lp_model.hpp"
@@ -34,6 +35,39 @@ class ThreadPool;
 }  // namespace ovnes::exec
 
 namespace ovnes::solver {
+
+class CutPool;  // solver/cut_pool.hpp — shared across lanes when lazy cuts run
+
+/// \brief Candidate point handed to the lazy-cut callback.
+struct LazyCutContext {
+  const std::vector<double>& x;  ///< candidate solution (structural vars)
+  double objective = 0.0;        ///< its LP objective
+  /// True for an integer-feasible candidate (acceptance gate), false for a
+  /// fractional point (root rounds under MilpOptions::benders_lp_cuts).
+  bool integral = true;
+};
+
+/// \brief One separation round's verdict on a candidate.
+struct LazyCutResult {
+  /// Rows violated at the candidate; every returned row must be globally
+  /// valid (it is pooled and appended to every lane's model, not just this
+  /// node's). Empty + !abandon accepts the candidate.
+  std::vector<Rowdef> cuts;
+  /// Separation failed without a certificate (e.g. a slave hit its
+  /// iteration limit): the candidate is rejected AND its node is dropped
+  /// conservatively — the node's bound folds into best_bound and the solve
+  /// can never claim Optimal past it.
+  bool abandon = false;
+};
+
+/// Lazy-constraint callback (single-tree Branch-and-Benders-cut): invoked
+/// when a lane finds an integer-feasible candidate — and, with
+/// MilpOptions::benders_lp_cuts, on fractional root points — returning the
+/// violated rows that cut it off, or an empty set to accept it. Calls are
+/// serialized by the solver (one lane separates at a time), so the callback
+/// may keep per-decomposition state (slave sessions, core points) without
+/// its own locking.
+using LazyCutCallback = std::function<LazyCutResult(const LazyCutContext&)>;
 
 enum class MilpStatus {
   Optimal,        ///< incumbent proved optimal (within gap tolerance)
@@ -67,6 +101,18 @@ struct MilpResult {
   /// bounds the search's memory footprint (see BM_MilpBnbThroughput's
   /// peak_rss counter).
   long peak_open_nodes = 0;
+  // -- Lazy-cut observability (all zero unless MilpOptions::lazy_cuts ran).
+  /// Rows admitted to the cut pool from callback separation this solve.
+  long cuts_separated = 0;
+  /// Pooled rows re-activated at a candidate without a separation call
+  /// (the pool lookup found them violated first).
+  long cuts_from_pool = 0;
+  /// Rows aged out of the pool's active set — lifetime count of the pool
+  /// used, which equals this solve's count unless the caller shared a pool
+  /// across solves (MilpOptions::cut_pool).
+  long cuts_evicted = 0;
+  /// Separation callback invocations (integral + fractional rounds).
+  long separation_rounds = 0;
   /// (objective - best_bound) / max(1, |objective|); 0 when proved optimal.
   [[nodiscard]] double gap() const;
 };
@@ -105,8 +151,36 @@ struct MilpOptions {
   /// Copy the whole model per node instead of applying/undoing bound
   /// deltas on a per-lane working model. The pre-delta behaviour, kept so
   /// bench_solver_micro can report the node-throughput delta and as a
-  /// debugging fallback; forces threads = 1 semantics per copy.
+  /// debugging fallback; forces threads = 1 semantics per copy. Ignored
+  /// (forced off) when lazy_cuts is set — lazy separation needs the
+  /// session path's permanent lane-level cut sync.
   bool copy_node_models = false;
+  /// Lazy-constraint hook (single-tree Branch-and-Benders-cut): when set,
+  /// every integer-feasible candidate is offered to the callback and
+  /// accepted as incumbent only if separation returns no violated row.
+  /// Returned rows go to the shared cut pool and are appended to every
+  /// lane's LpSession before its next node (cuts must therefore be
+  /// *globally valid*, like Benders cuts — they may not cut off integer
+  /// points that are feasible for the true problem). Each separation
+  /// re-solve counts toward `max_nodes` like a dive step, so repeated
+  /// rejections consume the node budget instead of looping forever; a
+  /// node abandoned mid-separation by any limit folds its bound into
+  /// best_bound conservatively. With threads > 1 the *trajectory* (which
+  /// cuts get separated, in which order) depends on lane interleaving —
+  /// determinism is explicitly relaxed; objective correctness is not
+  /// (incumbents are separation-verified, bounds stay valid).
+  LazyCutCallback lazy_cuts;
+  /// Also separate *fractional* root points (SCIP's `benderslp` idea):
+  /// before branching at the root, run up to max_lp_cut_rounds callback
+  /// rounds with integral=false to tighten the root bound.
+  bool benders_lp_cuts = false;
+  int max_lp_cut_rounds = 8;
+  /// Guard on integral-candidate separation rounds per node; hitting it
+  /// drops the node conservatively (never claims Optimal past it).
+  int max_separation_rounds = 64;
+  /// Cut pool shared with the caller (not owned; outlive the solve). Null
+  /// with lazy_cuts set: the solver creates a private pool for the run.
+  CutPool* cut_pool = nullptr;
   SimplexOptions lp;
 };
 
