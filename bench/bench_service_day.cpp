@@ -1,0 +1,258 @@
+// bench_service_day — drive a simulated day of diurnal tenant traffic
+// through the online admission-control service (src/svc) and report:
+//
+//   * decision throughput (admission decisions per second; ISSUE bar 1e4/s)
+//   * p50/p90/p99 decision latency (LatencyHistogram over the
+//     per-event wall times stamped by AdmissionService::drain)
+//   * Benders cut-pool reuse across the day's epoch re-solves
+//   * SLA-violation totals accrued under overbooking
+//   * the replay check: the decision log of the identical event script is
+//     byte-identical (digest-compared) at 1 and 4 worker threads.
+//
+// The event script is generated up front (seeded RngStream, fixed clock:
+// one epoch tick per simulated hour) so both replays and the timed run see
+// the exact same byte stream. Usage:
+//
+//   bench_service_day [--smoke]
+//
+// `--smoke` (or OVNES_FAST=1) shrinks the day to CI size; output rows are
+// `service_day key=value ...` either way.
+#include <chrono>
+#include <cmath>
+#include <numbers>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "exec/thread_pool.hpp"
+#include "svc/service.hpp"
+#include "topo/generators.hpp"
+
+namespace ovnes {
+namespace {
+
+struct DayConfig {
+  std::size_t num_bs = 12;
+  std::size_t num_shards = 8;
+  std::size_t tenants = 4000;   ///< arrivals over the day
+  std::size_t hours = 24;
+  std::uint64_t seed = 2018;
+};
+
+/// Diurnal load factor in (0, 1]: quiet night, 2pm peak.
+double diurnal(double hour) {
+  return 0.55 + 0.45 * std::sin(2.0 * std::numbers::pi * (hour - 8.0) / 24.0);
+}
+
+/// Build the whole day's event script: arrivals follow the diurnal curve,
+/// every live tenant files demand-update samples each hour (observed peak =
+/// diurnal level on its forecast), a slice of the population departs
+/// explicitly, the rest age out through duration_epochs, and each hour ends
+/// with an EpochTick.
+std::vector<svc::Event> make_day(const DayConfig& cfg) {
+  std::vector<svc::Event> script;
+  RngStream rng(cfg.seed);
+  struct Live {
+    std::uint64_t id;
+    double lambda_hat;
+    std::size_t depart_hour;  ///< 0 = ages out via duration_epochs
+  };
+  std::vector<Live> live;
+  std::uint64_t next_id = 1;
+
+  // Normalize the curve so the arrival total matches cfg.tenants.
+  double curve = 0.0;
+  for (std::size_t h = 0; h < cfg.hours; ++h) curve += diurnal(double(h));
+
+  for (std::size_t h = 0; h < cfg.hours; ++h) {
+    const double level = diurnal(double(h));
+    const auto arrivals = static_cast<std::size_t>(
+        std::round(double(cfg.tenants) * level / curve));
+    for (std::size_t a = 0; a < arrivals; ++a) {
+      const double pick = rng.uniform(0.0, 1.0);
+      const auto type = pick < 0.6 ? slice::SliceType::eMBB
+                        : pick < 0.9 ? slice::SliceType::mMTC
+                                     : slice::SliceType::uRLLC;
+      const double sla = slice::standard_template(type).sla_rate;
+      Live t;
+      t.id = next_id++;
+      t.lambda_hat = rng.uniform(0.3, 0.9) * sla;
+      // 15% depart explicitly later; the rest expire via duration.
+      const auto span = 2 + static_cast<std::uint64_t>(rng.uniform(0.0, 6.0));
+      t.depart_hour = rng.uniform(0.0, 1.0) < 0.15
+                          ? std::min(cfg.hours - 1, h + 1 + std::size_t(span))
+                          : 0;
+      script.push_back(svc::make_arrival(
+          t.id, type, t.lambda_hat, rng.uniform(0.1, 0.5),
+          1.0 + rng.uniform(0.0, 3.0), t.depart_hour != 0 ? 0 : span));
+      live.push_back(t);
+    }
+
+    // Hourly monitoring samples: observed peak tracks the diurnal level;
+    // one in five also refreshes the forecast (feeding the drift trigger).
+    for (const Live& t : live) {
+      const double observed =
+          t.lambda_hat * level * (0.8 + rng.uniform(0.0, 0.6));
+      const bool refresh = rng.uniform(0.0, 1.0) < 0.2;
+      script.push_back(svc::make_demand_update(
+          t.id, observed,
+          refresh ? t.lambda_hat * (0.85 + rng.uniform(0.0, 0.3)) : -1.0));
+    }
+
+    // Scheduled departures for this hour.
+    std::vector<Live> still;
+    still.reserve(live.size());
+    for (const Live& t : live) {
+      if (t.depart_hour == h && t.depart_hour != 0) {
+        script.push_back(svc::make_departure(t.id));
+      } else {
+        still.push_back(t);
+      }
+    }
+    live = std::move(still);
+    // Drop aged-out tenants from the generator's mirror so updates stop
+    // once the service expired them (duration = span epochs from arrival).
+    // Kept approximate on purpose: stale updates exercise the Unknown path.
+    script.push_back(svc::make_epoch_tick());
+  }
+  return script;
+}
+
+struct RunResult {
+  std::uint64_t digest = 0;
+  double seconds = 0.0;
+  std::size_t decisions = 0;
+  LatencyHistogram latency{0.1, 1e7, 16};
+  svc::ServiceStats stats;
+};
+
+RunResult run_day(const topo::Topology& topo, const DayConfig& day,
+                  const std::vector<svc::Event>& script, std::size_t threads) {
+  exec::ThreadPool pool(threads);
+  svc::ServiceConfig cfg;
+  cfg.num_shards = day.num_shards;
+  cfg.queue_capacity = script.size() + 1;  // the day fits; no shedding here
+  cfg.shard.full_resolve_every = 6;        // periodic exact re-solve, 4x/day
+  cfg.shard.drift_threshold = 0.25;
+  cfg.shard.max_resolve_tenants = 40;
+  cfg.shard.resolve_max_nodes = 2000;
+  svc::AdmissionService service(topo, cfg, &pool);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const svc::Event& e : script) {
+    if (!service.submit(e)) std::abort();  // sized above; must not shed
+  }
+  service.drain();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  RunResult out;
+  out.seconds = std::chrono::duration<double>(t1 - t0).count();
+  out.decisions = service.decisions().size();
+  out.digest = service.decision_log_digest();
+  out.stats = service.stats();
+  for (const svc::Decision& d : service.decisions()) {
+    if (d.event == svc::EventType::TenantArrival) {
+      out.latency.add(d.latency_us);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+}  // namespace ovnes
+
+int main(int argc, char** argv) {
+  using namespace ovnes;
+  bool smoke = bench::fast_mode();
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  DayConfig day;
+  if (smoke) {
+    day.num_bs = 8;
+    day.num_shards = 4;
+    day.tenants = 600;
+    day.hours = 12;
+  }
+  const topo::Topology topo =
+      topo::make_mini(day.num_bs, 16.0 * double(day.num_bs),
+                      32.0 * double(day.num_bs));
+  const std::vector<svc::Event> script = make_day(day);
+
+  // Timed run at 4 workers (the acceptance configuration), then the serial
+  // replay of the same script for the byte-identical-log check.
+  const RunResult par = run_day(topo, day, script, 4);
+  const RunResult ser = run_day(topo, day, script, 1);
+  const bool identical = par.digest == ser.digest;
+
+  const double dps = double(par.decisions) / par.seconds;
+  const svc::ShardStats& sh = par.stats.shards;
+  const long cut_total = sh.cuts_separated + sh.cuts_from_pool;
+  const double hit_rate =
+      cut_total > 0 ? double(sh.cuts_from_pool) / double(cut_total) : 0.0;
+
+  Row("service_day")
+      .set("mode", smoke ? std::string("smoke") : std::string("full"))
+      .set("bs", day.num_bs)
+      .set("shards", day.num_shards)
+      .set("tenants", day.tenants)
+      .set("hours", day.hours)
+      .set("events", script.size())
+      .set("decisions", par.decisions)
+      .print();
+  Row("service_day")
+      .set("decisions_per_sec", dps)
+      .set("serial_decisions_per_sec", double(ser.decisions) / ser.seconds)
+      .set("wall_sec", par.seconds)
+      .print();
+  Row("service_day")
+      .set("p50_us", par.latency.p50())
+      .set("p90_us", par.latency.p90())
+      .set("p99_us", par.latency.p99())
+      .set("max_us", par.latency.max_seen())
+      .print();
+  Row("service_day")
+      .set("admitted", sh.admitted)
+      .set("rejected",
+           sh.rejected_profit + sh.rejected_capacity + sh.rejected_no_route +
+               sh.rejected_solver)
+      .set("expiries", sh.expiries)
+      .set("departures", sh.departures)
+      .set("full_resolves", sh.full_resolves)
+      .set("greedy_repacks", sh.greedy_repacks)
+      .print();
+  Row("service_day")
+      .set("cuts_separated", sh.cuts_separated)
+      .set("cuts_from_pool", sh.cuts_from_pool)
+      .set("cut_pool_hit_rate", hit_rate)
+      .set("pool_resets", sh.pool_resets)
+      .print();
+  Row("service_day")
+      .set("sla_violation_minutes", sh.violation_minutes)
+      .set("violation_samples", sh.violation_samples)
+      .set("overbooked_mbps", par.stats.overbooked_mbps)
+      .set("radio_headroom_mbps", par.stats.radio_headroom_mbps)
+      .print();
+  char digest[32];
+  std::snprintf(digest, sizeof digest, "%016llx",
+                static_cast<unsigned long long>(par.digest));
+  Row("service_day")
+      .set("replay_threads", std::string("1v4"))
+      .set("replay_identical", identical)
+      .set("digest", std::string(digest))
+      .print();
+  if (!identical) {
+    std::fprintf(stderr, "FAIL: decision log differs between 1 and 4 threads\n");
+    return 1;
+  }
+  if (dps < 1e4) {
+    std::fprintf(stderr, "WARN: %.0f decisions/sec below the 1e4 target\n", dps);
+  }
+  return 0;
+}

@@ -14,6 +14,7 @@
 //    all-or-nothing across BSs).
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -108,6 +109,19 @@ struct Placement {
   std::vector<Mbps> reservation; ///< z per BS, aligned with path_vars
 };
 
+/// Fingerprint of everything that determines Benders-cut validity and the
+/// master's *column* layout for `inst`: the decision-variable list (tenant
+/// block structure, per-var λ̂/Λ/w coefficients, path identity), per-tenant
+/// feasible-CU sets, topology capacities, and the slave-shaping config
+/// (big-M relaxation on/off). Two instances with equal fingerprints may
+/// safely share a solver::CutPool: every pooled cut row references master
+/// columns that exist with the same meaning, and the slave value function
+/// the cuts under-approximate is identical. Pinning (TenantModel::pinned_cu)
+/// is deliberately EXCLUDED — cuts are valid at any activation vector, and
+/// pins only restrict the master's feasible set — so a pool survives the
+/// arrival→pinned transition of the orchestrator's retry loop.
+[[nodiscard]] std::uint64_t instance_fingerprint(const AcrrInstance& inst);
+
 struct AdmissionResult {
   /// Per tenant: placement if accepted.
   std::vector<std::optional<Placement>> admitted;
@@ -120,7 +134,9 @@ struct AdmissionResult {
   double deficit = 0.0;
   // -- Benders cut-machinery counters (zero for non-Benders solvers).
   long cuts_separated = 0;   ///< cuts admitted to the pool / master
-  long cuts_from_pool = 0;   ///< candidates rejected by a pooled cut (no slave solve)
+  long cuts_from_pool = 0;   ///< cuts priced from the pool: candidates
+                             ///< rejected by a pooled row (no slave solve)
+                             ///< + rows carried in from an earlier solve
   long cuts_evicted = 0;     ///< cuts aged/purged out of the active set
   long separation_rounds = 0;///< slave separation invocations
   long master_pivots = 0;    ///< master simplex iterations, all solves summed

@@ -6,6 +6,7 @@
 #include <map>
 #include <mutex>
 #include <random>
+#include <stdexcept>
 
 namespace ovnes {
 
@@ -130,6 +131,70 @@ std::vector<std::pair<double, double>> EmpiricalDistribution::cdf_series(
     out.emplace_back(x, cdf(x));
   }
   return out;
+}
+
+LatencyHistogram::LatencyHistogram(double min_value, double max_value,
+                                   int buckets_per_decade) {
+  if (min_value <= 0.0) min_value = 1e-9;
+  if (max_value <= min_value) max_value = min_value * 10.0;
+  if (buckets_per_decade < 1) buckets_per_decade = 1;
+  min_value_ = min_value;
+  log_step_ = std::log(10.0) / static_cast<double>(buckets_per_decade);
+  inv_log_step_ = 1.0 / log_step_;
+  const double decades = std::log10(max_value / min_value);
+  const auto n = static_cast<std::size_t>(
+      std::ceil(decades * static_cast<double>(buckets_per_decade)));
+  counts_.assign(n + 1, 0);  // + overflow slot
+}
+
+std::size_t LatencyHistogram::bucket_of(double value) const {
+  if (!(value > min_value_)) return 0;  // also catches NaN
+  const auto i = static_cast<std::size_t>(std::log(value / min_value_) *
+                                          inv_log_step_);
+  return std::min(i, counts_.size() - 1);
+}
+
+double LatencyHistogram::bucket_value(std::size_t i) const {
+  if (i + 1 == counts_.size()) {
+    // Overflow bucket: report the range top (no upper edge to average with).
+    return min_value_ * std::exp(static_cast<double>(i) * log_step_);
+  }
+  // Geometric midpoint of [min·step^i, min·step^(i+1)).
+  return min_value_ * std::exp((static_cast<double>(i) + 0.5) * log_step_);
+}
+
+void LatencyHistogram::add(double value) {
+  ++counts_[bucket_of(value)];
+  ++count_;
+  if (value > 0.0) sum_ += value;
+  if (value > max_seen_) max_seen_ = value;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  // Merging requires identical bucketization; resolution mismatches are a
+  // caller bug worth failing loudly on.
+  if (other.counts_.size() != counts_.size() ||
+      other.min_value_ != min_value_ || other.log_step_ != log_step_) {
+    throw std::logic_error("LatencyHistogram::merge: bucket layout mismatch");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (other.max_seen_ > max_seen_) max_seen_ = other.max_seen_;
+}
+
+double LatencyHistogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  const std::uint64_t target = std::max<std::uint64_t>(1, rank);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cum += counts_[i];
+    if (cum >= target) return bucket_value(i);
+  }
+  return bucket_value(counts_.size() - 1);
 }
 
 }  // namespace ovnes

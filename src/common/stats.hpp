@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace ovnes {
@@ -76,6 +77,52 @@ class EmpiricalDistribution {
 
   mutable std::vector<double> samples_;
   mutable bool sorted_ = true;
+};
+
+/// Streaming latency histogram with fixed log-scale buckets: O(1) add, O(1)
+/// memory independent of the sample count, quantiles with bounded relative
+/// error. The admission service records one sample per decision — an
+/// EmpiricalDistribution would grow without bound over a simulated day.
+///
+/// Buckets span [min_value, max_value) with `buckets_per_decade` per factor
+/// of 10, so any quantile is reported within a relative error of
+/// 10^(1/buckets_per_decade) − 1 (≈ 15% at the default 16/decade; see the
+/// common_test comparison against exact sorted quantiles). Samples below
+/// min_value land in the first bucket, samples at or above max_value in a
+/// dedicated overflow bucket whose reported value is max_value.
+class LatencyHistogram {
+ public:
+  explicit LatencyHistogram(double min_value = 0.1, double max_value = 1e7,
+                            int buckets_per_decade = 16);
+
+  void add(double value);
+  void merge(const LatencyHistogram& other);
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  /// q in [0, 1]: the geometric midpoint of the first bucket whose
+  /// cumulative count reaches ceil(q·n). 0 when empty.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double p50() const { return quantile(0.50); }
+  [[nodiscard]] double p90() const { return quantile(0.90); }
+  [[nodiscard]] double p99() const { return quantile(0.99); }
+  [[nodiscard]] double mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+  [[nodiscard]] double max_seen() const { return max_seen_; }
+  [[nodiscard]] std::size_t num_buckets() const { return counts_.size(); }
+
+ private:
+  [[nodiscard]] std::size_t bucket_of(double value) const;
+  /// Geometric midpoint of bucket i (the value quantile() reports).
+  [[nodiscard]] double bucket_value(std::size_t i) const;
+
+  double min_value_;
+  double inv_log_step_;  ///< buckets_per_decade / ln(10)
+  double log_step_;      ///< ln(10) / buckets_per_decade
+  std::vector<std::uint64_t> counts_;  ///< last slot = overflow
+  std::size_t count_ = 0;
+  double sum_ = 0.0;
+  double max_seen_ = 0.0;
 };
 
 }  // namespace ovnes

@@ -92,7 +92,26 @@ forecast::Forecast Simulation::admission_forecast(
 acrr::AdmissionResult Simulation::dispatch_solver(
     const acrr::AcrrInstance& inst, bool) {
   switch (cfg_.algorithm) {
-    case Algorithm::Benders: return acrr::solve_benders(inst, cfg_.benders);
+    case Algorithm::Benders: {
+      acrr::BendersOptions opts = cfg_.benders;
+      // Cross-epoch cut sharing (single-tree only: the classic loop keeps
+      // its cuts as master rows, not pool entries). The pool survives from
+      // epoch to epoch as long as the instance fingerprint — column layout,
+      // objective coefficients, capacities — is unchanged; any drift clears
+      // it, so pooled rows can never cut a valid point of a new instance.
+      if (cfg_.share_cut_pool && opts.single_tree && opts.cut_pool == nullptr) {
+        const std::uint64_t fp = acrr::instance_fingerprint(inst);
+        if (epoch_pool_ == nullptr) {
+          epoch_pool_ = std::make_unique<solver::CutPool>();
+        }
+        if (fp != epoch_pool_fingerprint_) {
+          epoch_pool_->clear();
+          epoch_pool_fingerprint_ = fp;
+        }
+        opts.cut_pool = epoch_pool_.get();
+      }
+      return acrr::solve_benders(inst, opts);
+    }
     case Algorithm::Kac: return acrr::solve_kac(inst, cfg_.kac);
     case Algorithm::NoOverbooking:
       return acrr::solve_no_overbooking(inst, cfg_.milp);
@@ -306,6 +325,25 @@ EpochReport Simulation::run_epoch() {
   report.penalty = ledger_.total_penalty() - penalty_before;
   report.net_revenue = report.reward - report.penalty;
   report.violations = ledger_.violations() - violations_before;
+  // SLA-violation minutes: each violating (tenant, BS) sample covers one
+  // sample interval of wall time.
+  report.violation_minutes =
+      static_cast<double>(report.violations) * cfg_.sample_seconds / 60.0;
+  // Overbooking exposure (SLA sold minus reserved) and remaining radio
+  // headroom, both in Mbps.
+  for (const ActiveSlice& s : active_) {
+    double z_sum = 0.0;
+    for (double z : s.reservation) z_sum += z;
+    report.overbooked_mbps +=
+        static_cast<double>(b_count) * s.request.tmpl.sla_rate - z_sum;
+  }
+  report.overbooked_mbps = std::max(0.0, report.overbooked_mbps);
+  for (std::size_t bi = 0; bi < b_count; ++bi) {
+    const auto& bs = topo_.bs(BsId(static_cast<std::uint32_t>(bi)));
+    report.radio_headroom_mbps +=
+        std::max(0.0, bs.capacity - report.usage.radio_reserved[bi]) *
+        bs.mbps_per_prb;
+  }
 
   std::vector<ActiveSlice> still;
   for (ActiveSlice& s : active_) {

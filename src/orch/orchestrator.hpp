@@ -30,6 +30,7 @@
 #include "forecast/smoothing.hpp"
 #include "orch/controllers.hpp"
 #include "orch/slice_manager.hpp"
+#include "solver/cut_pool.hpp"
 #include "slice/slice.hpp"
 #include "topo/generators.hpp"
 #include "traffic/demand.hpp"
@@ -57,6 +58,15 @@ struct OrchestratorConfig {
   std::size_t hw_period = 24;           ///< season length in epochs (1 day)
   /// Rejected requests retry at the next epoch instead of being dropped.
   bool retry_rejected = false;
+  /// Keep ONE solver::CutPool alive across epochs for the single-tree
+  /// Benders solver (acrr::BendersOptions::single_tree): consecutive epochs
+  /// whose instances share an acrr::instance_fingerprint re-price rejected
+  /// candidates from pooled cuts instead of fresh slave solves
+  /// (EpochReport::cuts_from_pool). A fingerprint change — different tenant
+  /// set, forecasts or capacities — clears the pool first, so reuse is
+  /// always sound. No effect on the classic multi-tree loop or when
+  /// benders.cut_pool is already caller-supplied.
+  bool share_cut_pool = true;
   acrr::AcrrConfig acrr;                ///< shared model knobs
   acrr::BendersOptions benders;
   acrr::KacOptions kac;
@@ -84,6 +94,14 @@ struct EpochReport {
   Money net_revenue = 0.0;              ///< reward - penalty (this epoch)
   std::size_t active_slices = 0;
   std::size_t violations = 0;           ///< violating samples this epoch
+  /// SLA-violation minutes this epoch: Σ over violating (tenant, BS)
+  /// monitoring samples of the sample interval, in minutes.
+  double violation_minutes = 0.0;
+  /// Σ over active slices of (B·Λ − Σ_b z_b): SLA bitrate sold beyond what
+  /// is reserved — the overbooking exposure this epoch (Mbps).
+  double overbooked_mbps = 0.0;
+  /// Σ_b unreserved radio capacity (Mbps): headroom left for overbooking.
+  double radio_headroom_mbps = 0.0;
   double solve_ms = 0.0;
   double deficit = 0.0;
   // Benders cut-machinery counters for this epoch's admission solve
@@ -171,6 +189,11 @@ class Simulation {
   RanController ran_;
   TransportController transport_;
   CloudController cloud_;
+
+  /// Cross-epoch Benders cut pool (OrchestratorConfig::share_cut_pool),
+  /// lazily created; reuse gated by the instance fingerprint.
+  std::unique_ptr<solver::CutPool> epoch_pool_;
+  std::uint64_t epoch_pool_fingerprint_ = 0;
 
   std::vector<PendingRequest> pending_;
   std::vector<ActiveSlice> active_;

@@ -82,6 +82,9 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
     out.cuts_from_pool += rep.cuts_from_pool;
     out.cuts_evicted += rep.cuts_evicted;
     out.separation_rounds += rep.separation_rounds;
+    out.violation_minutes += rep.violation_minutes;
+    out.mean_overbooked_mbps += rep.overbooked_mbps;
+    out.mean_radio_headroom_mbps += rep.radio_headroom_mbps;
     if (e == 0) {
       out.accepted = rep.accepted.size();
       out.solve_ms = rep.solve_ms;
@@ -95,6 +98,10 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
   out.mean_net_revenue = revenue.mean();
   out.rse = revenue.relative_standard_error();
   out.epochs = revenue.count();
+  if (out.epochs > 0) {
+    out.mean_overbooked_mbps /= static_cast<double>(out.epochs);
+    out.mean_radio_headroom_mbps /= static_cast<double>(out.epochs);
+  }
   out.violation_prob = sim.ledger().violation_probability();
   out.max_drop_fraction = sim.ledger().max_drop_fraction();
   return out;

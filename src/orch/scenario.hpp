@@ -59,6 +59,10 @@ struct ScenarioResult {
   long cuts_from_pool = 0;
   long cuts_evicted = 0;
   long separation_rounds = 0;
+  // Overbooking accounting (EpochReport aggregates).
+  double violation_minutes = 0.0;      ///< Σ SLA-violation minutes, all epochs
+  double mean_overbooked_mbps = 0.0;   ///< mean per-epoch overbooking exposure
+  double mean_radio_headroom_mbps = 0.0;  ///< mean per-epoch radio headroom
 };
 
 /// Convenience: n identical tenants.

@@ -671,9 +671,15 @@ class BranchAndBound {
     sess.set_warm_basis(sh.root_warm);
     if (sh.cuts != nullptr) {
       // A caller-shared pool (MilpOptions::cut_pool) may carry cuts from
-      // earlier solves: give the dive the tightened model up front.
+      // earlier solves: give the dive the tightened model up front. Rows
+      // inherited this way are the cross-solve reuse channel, so they count
+      // as from-pool cuts (within-solve lane syncs do not — those rows were
+      // separated, and counted, during this solve).
       std::size_t version = 0;
       auto pooled = sh.cuts->fetch_new(version);
+      if (opts_.cut_pool != nullptr) {
+        sh.cuts_from_pool += static_cast<long>(pooled.size());
+      }
       for (Rowdef& r : pooled) sess.add_cut(std::move(r));
     }
     int sep_rounds = 0;

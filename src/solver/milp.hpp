@@ -104,8 +104,10 @@ struct MilpResult {
   // -- Lazy-cut observability (all zero unless MilpOptions::lazy_cuts ran).
   /// Rows admitted to the cut pool from callback separation this solve.
   long cuts_separated = 0;
-  /// Pooled rows re-activated at a candidate without a separation call
-  /// (the pool lookup found them violated first).
+  /// Pooled rows that priced a candidate without a separation call: rows
+  /// the pool lookup found violated first, plus rows inherited from a
+  /// caller-shared pool (MilpOptions::cut_pool) at solve start — the
+  /// cross-solve reuse channel.
   long cuts_from_pool = 0;
   /// Rows aged out of the pool's active set — lifetime count of the pool
   /// used, which equals this solve's count unless the caller shared a pool

@@ -1,0 +1,284 @@
+// Per-shard memory primitives for the online admission service.
+//
+// The service's hot path — one admission decision per tenant arrival — must
+// not grow the heap in steady state (§ docs/service.md "memory model"). Three
+// small allocators make that possible, all owned per shard so they are
+// touched by exactly one lane at a time and need no locks:
+//
+//  * Arena     — bump allocator over geometrically-growing blocks. Scratch
+//                for one request (candidate bounds, reservation copies) is
+//                carved here and reclaimed wholesale by reset(); after the
+//                first few requests warmed the block list up, reset() keeps
+//                every block and allocation degenerates to pointer bumps.
+//  * Slab<T>   — fixed-slot object pool with an intrusive free list. Tenant
+//                entries live here: stable slot indices for the lifetime of
+//                a tenant, O(1) allocate/release, released slots are reused
+//                (newest-freed first) instead of returned to the heap.
+//  * IdMap     — open-addressing hash map (u64 tenant id -> u32 slot) with
+//                linear probing and tombstones. Lookup/insert/erase never
+//                allocate once the table has grown to its steady-state
+//                capacity; growth doubles the table (amortized, off the
+//                steady-state path).
+//
+// All three expose stats so tests can prove reuse (svc_test
+// ArenaReuseAcrossRequests: block count stays flat while resets grow).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace ovnes::svc {
+
+/// \brief Bump allocator with wholesale reset; blocks are kept across
+/// resets so steady-state allocation never touches the heap.
+class Arena {
+ public:
+  explicit Arena(std::size_t first_block_bytes = 16 * 1024)
+      : first_block_bytes_(first_block_bytes == 0 ? 1024 : first_block_bytes) {}
+
+  struct Stats {
+    std::size_t blocks = 0;          ///< blocks ever allocated (never freed)
+    std::size_t capacity_bytes = 0;  ///< sum of block sizes
+    std::size_t live_bytes = 0;      ///< bytes handed out since last reset
+    std::size_t resets = 0;
+    std::size_t allocations = 0;     ///< allocate() calls, lifetime total
+  };
+
+  /// Aligned raw storage; valid until the next reset().
+  void* allocate(std::size_t bytes, std::size_t align = alignof(std::max_align_t)) {
+    ++stats_.allocations;
+    if (bytes == 0) bytes = 1;
+    for (;;) {
+      if (block_ < blocks_.size()) {
+        Block& b = blocks_[block_];
+        std::size_t off = (b.used + (align - 1)) & ~(align - 1);
+        if (off + bytes <= b.size) {
+          b.used = off + bytes;
+          stats_.live_bytes += bytes;
+          return b.data.get() + off;
+        }
+        // Current block exhausted: move on (its tail is wasted until reset).
+        ++block_;
+        continue;
+      }
+      add_block(bytes + align);
+    }
+  }
+
+  /// Typed uninitialized array (POD use only — no destructors run).
+  template <typename T>
+  T* alloc_array(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena never runs destructors");
+    return static_cast<T*>(allocate(n * sizeof(T), alignof(T)));
+  }
+
+  /// Rewind every block; capacity is retained for reuse.
+  void reset() {
+    for (Block& b : blocks_) b.used = 0;
+    block_ = 0;
+    stats_.live_bytes = 0;
+    ++stats_.resets;
+  }
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+
+  void add_block(std::size_t at_least) {
+    std::size_t size = blocks_.empty() ? first_block_bytes_
+                                       : blocks_.back().size * 2;
+    if (size < at_least) size = at_least;
+    Block b;
+    b.data = std::make_unique<std::byte[]>(size);
+    b.size = size;
+    blocks_.push_back(std::move(b));
+    ++stats_.blocks;
+    stats_.capacity_bytes += size;
+  }
+
+  std::size_t first_block_bytes_;
+  std::vector<Block> blocks_;
+  std::size_t block_ = 0;  ///< index of the block currently bumped
+  Stats stats_;
+};
+
+/// \brief Fixed-slot object pool: stable u32 slot handles, intrusive free
+/// list, O(1) allocate/release with slot reuse.
+template <typename T>
+class Slab {
+ public:
+  static constexpr std::uint32_t kInvalid = 0xffffffffu;
+
+  struct Stats {
+    std::size_t capacity = 0;   ///< slots ever created
+    std::size_t live = 0;       ///< currently allocated
+    std::size_t allocated = 0;  ///< lifetime allocate() calls
+    std::size_t reused = 0;     ///< allocations served from the free list
+  };
+
+  /// Allocate a slot (value-initialized T); reuses the most recently
+  /// released slot when one exists.
+  std::uint32_t allocate() {
+    ++stats_.allocated;
+    ++stats_.live;
+    if (free_head_ != kInvalid) {
+      const std::uint32_t slot = free_head_;
+      free_head_ = next_free_[slot];
+      slots_[slot] = T{};
+      occupied_[slot] = 1;
+      ++stats_.reused;
+      return slot;
+    }
+    const auto slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+    next_free_.push_back(kInvalid);
+    occupied_.push_back(1);
+    ++stats_.capacity;
+    return slot;
+  }
+
+  void release(std::uint32_t slot) {
+    occupied_[slot] = 0;
+    next_free_[slot] = free_head_;
+    free_head_ = slot;
+    --stats_.live;
+  }
+
+  [[nodiscard]] T& operator[](std::uint32_t slot) { return slots_[slot]; }
+  [[nodiscard]] const T& operator[](std::uint32_t slot) const {
+    return slots_[slot];
+  }
+  /// True when `slot` currently holds a live object (deterministic
+  /// insertion-order-free iteration: scan [0, capacity) and test).
+  [[nodiscard]] bool occupied(std::uint32_t slot) const {
+    return occupied_[slot] != 0;
+  }
+  [[nodiscard]] std::uint32_t capacity() const {
+    return static_cast<std::uint32_t>(slots_.size());
+  }
+  [[nodiscard]] std::size_t size() const { return stats_.live; }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  std::vector<T> slots_;
+  std::vector<std::uint32_t> next_free_;
+  std::vector<char> occupied_;
+  std::uint32_t free_head_ = kInvalid;
+  Stats stats_;
+};
+
+/// splitmix64 — the id hash used for both shard assignment and IdMap
+/// probing (well-mixed, deterministic across platforms).
+[[nodiscard]] inline std::uint64_t hash_id(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// \brief Open-addressing u64 -> u32 map (linear probing, tombstones).
+/// Steady-state find/insert/erase never allocate; growth doubles.
+class IdMap {
+ public:
+  static constexpr std::uint32_t kMissing = 0xffffffffu;
+
+  explicit IdMap(std::size_t expected = 64) { rehash(table_size_for(expected)); }
+
+  void insert(std::uint64_t key, std::uint32_t value) {
+    if ((live_ + tombstones_ + 1) * 4 >= keys_.size() * 3) {
+      rehash(keys_.size() * 2);
+    }
+    std::size_t i = probe_start(key);
+    std::size_t first_tomb = keys_.size();
+    for (;;) {
+      if (state_[i] == kEmpty) {
+        const std::size_t at = first_tomb < keys_.size() ? first_tomb : i;
+        if (state_[at] == kTomb) --tombstones_;
+        keys_[at] = key;
+        values_[at] = value;
+        state_[at] = kFull;
+        ++live_;
+        return;
+      }
+      if (state_[i] == kTomb) {
+        if (first_tomb == keys_.size()) first_tomb = i;
+      } else if (keys_[i] == key) {
+        values_[i] = value;
+        return;
+      }
+      i = (i + 1) & (keys_.size() - 1);
+    }
+  }
+
+  [[nodiscard]] std::uint32_t find(std::uint64_t key) const {
+    std::size_t i = probe_start(key);
+    for (;;) {
+      if (state_[i] == kEmpty) return kMissing;
+      if (state_[i] == kFull && keys_[i] == key) return values_[i];
+      i = (i + 1) & (keys_.size() - 1);
+    }
+  }
+
+  /// Returns the erased value, or kMissing when absent.
+  std::uint32_t erase(std::uint64_t key) {
+    std::size_t i = probe_start(key);
+    for (;;) {
+      if (state_[i] == kEmpty) return kMissing;
+      if (state_[i] == kFull && keys_[i] == key) {
+        state_[i] = kTomb;
+        --live_;
+        ++tombstones_;
+        return values_[i];
+      }
+      i = (i + 1) & (keys_.size() - 1);
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const { return live_; }
+  [[nodiscard]] std::size_t capacity() const { return keys_.size(); }
+
+ private:
+  enum : char { kEmpty = 0, kFull = 1, kTomb = 2 };
+
+  static std::size_t table_size_for(std::size_t expected) {
+    std::size_t n = 16;
+    while (n * 3 < expected * 4) n *= 2;  // keep load factor under 3/4
+    return n;
+  }
+
+  [[nodiscard]] std::size_t probe_start(std::uint64_t key) const {
+    return static_cast<std::size_t>(hash_id(key)) & (keys_.size() - 1);
+  }
+
+  void rehash(std::size_t new_size) {
+    std::vector<std::uint64_t> old_keys = std::move(keys_);
+    std::vector<std::uint32_t> old_values = std::move(values_);
+    std::vector<char> old_state = std::move(state_);
+    keys_.assign(new_size, 0);
+    values_.assign(new_size, 0);
+    state_.assign(new_size, kEmpty);
+    live_ = 0;
+    tombstones_ = 0;
+    for (std::size_t i = 0; i < old_keys.size(); ++i) {
+      if (old_state[i] == kFull) insert(old_keys[i], old_values[i]);
+    }
+  }
+
+  std::vector<std::uint64_t> keys_;
+  std::vector<std::uint32_t> values_;
+  std::vector<char> state_;
+  std::size_t live_ = 0;
+  std::size_t tombstones_ = 0;
+};
+
+}  // namespace ovnes::svc

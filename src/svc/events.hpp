@@ -1,0 +1,161 @@
+// Typed request events and the MPSC ingress queue of the admission service.
+//
+// Everything the service reacts to is an Event: tenant arrivals, departures,
+// demand updates from monitoring, and epoch ticks from the wall clock. The
+// queue assigns each accepted event a monotonic sequence number under its
+// lock; the service drains events strictly in that order and routes each one
+// to the shard owning its tenant id — so the decision stream is a pure
+// function of the accepted event log, independent of how many producer
+// threads raced on submit() or how many worker lanes drain shards
+// (docs/service.md "determinism contract").
+//
+// The queue is bounded: submit() on a full queue fails instead of blocking,
+// which is the service's overload-shedding point — a caller that cannot
+// enqueue must treat the request as rejected-without-decision (counted in
+// QueueStats::shed). Events are PODs (no heap payload), so the ring never
+// allocates after construction.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "slice/slice.hpp"
+
+namespace ovnes::svc {
+
+enum class EventType : std::uint8_t {
+  TenantArrival,
+  TenantDeparture,
+  DemandUpdate,
+  EpochTick,
+};
+
+[[nodiscard]] inline const char* to_string(EventType t) {
+  switch (t) {
+    case EventType::TenantArrival: return "arrival";
+    case EventType::TenantDeparture: return "departure";
+    case EventType::DemandUpdate: return "update";
+    case EventType::EpochTick: return "tick";
+  }
+  return "?";
+}
+
+/// One service request. POD by design: fixed size, no heap payload, so the
+/// ingress ring and the per-shard routing buffers never allocate in steady
+/// state. Fields beyond (seq, type, tenant_id) are per-type:
+///
+///   TenantArrival   — slice_type, lambda_hat/sigma_hat (declared forecast,
+///                     Mbps per BS), penalty_factor, duration_epochs
+///   TenantDeparture — tenant_id only
+///   DemandUpdate    — observed (measured per-BS peak since the last update,
+///                     Mbps) and lambda_hat (refreshed forecast; NaN or < 0
+///                     keeps the previous forecast)
+///   EpochTick       — no payload (the service counts epochs)
+struct Event {
+  std::uint64_t seq = 0;  ///< assigned by EventQueue::submit, monotonic
+  EventType type = EventType::EpochTick;
+  slice::SliceType slice_type = slice::SliceType::eMBB;
+  std::uint64_t tenant_id = 0;
+  double lambda_hat = 0.0;
+  double sigma_hat = 0.0;
+  double observed = 0.0;
+  double penalty_factor = 1.0;
+  std::uint32_t duration_epochs = 0;  ///< 0 = until explicit departure
+};
+
+[[nodiscard]] inline Event make_arrival(std::uint64_t tenant_id,
+                                        slice::SliceType type,
+                                        double lambda_hat, double sigma_hat,
+                                        double penalty_factor = 1.0,
+                                        std::uint32_t duration_epochs = 0) {
+  Event e;
+  e.type = EventType::TenantArrival;
+  e.tenant_id = tenant_id;
+  e.slice_type = type;
+  e.lambda_hat = lambda_hat;
+  e.sigma_hat = sigma_hat;
+  e.penalty_factor = penalty_factor;
+  e.duration_epochs = duration_epochs;
+  return e;
+}
+
+[[nodiscard]] inline Event make_departure(std::uint64_t tenant_id) {
+  Event e;
+  e.type = EventType::TenantDeparture;
+  e.tenant_id = tenant_id;
+  return e;
+}
+
+[[nodiscard]] inline Event make_demand_update(std::uint64_t tenant_id,
+                                              double observed,
+                                              double new_lambda_hat = -1.0) {
+  Event e;
+  e.type = EventType::DemandUpdate;
+  e.tenant_id = tenant_id;
+  e.observed = observed;
+  e.lambda_hat = new_lambda_hat;
+  return e;
+}
+
+[[nodiscard]] inline Event make_epoch_tick() { return Event{}; }
+
+/// \brief Bounded MPSC ingress ring. Producers submit concurrently; the
+/// single consumer (AdmissionService::drain) takes everything accumulated
+/// so far in sequence order. A full ring sheds instead of blocking.
+class EventQueue {
+ public:
+  struct QueueStats {
+    std::uint64_t submitted = 0;  ///< accepted events, lifetime
+    std::uint64_t shed = 0;       ///< rejected on a full ring
+    std::uint64_t drained = 0;
+    std::size_t peak_depth = 0;
+  };
+
+  explicit EventQueue(std::size_t capacity = 1 << 16)
+      : capacity_(capacity == 0 ? 1 : capacity) {
+    ring_.reserve(capacity_);
+  }
+
+  /// Enqueue and stamp `e.seq`. False (and no stamp) when the ring is full:
+  /// the overload-shedding path — the caller must handle the rejection.
+  bool submit(Event e) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (ring_.size() >= capacity_) {
+      ++stats_.shed;
+      return false;
+    }
+    e.seq = next_seq_++;
+    ring_.push_back(e);
+    ++stats_.submitted;
+    if (ring_.size() > stats_.peak_depth) stats_.peak_depth = ring_.size();
+    return true;
+  }
+
+  /// Move out every queued event (sequence order). Single consumer.
+  void drain_into(std::vector<Event>& out) {
+    std::lock_guard<std::mutex> lk(mu_);
+    out.insert(out.end(), ring_.begin(), ring_.end());
+    stats_.drained += ring_.size();
+    ring_.clear();
+  }
+
+  [[nodiscard]] std::size_t depth() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return ring_.size();
+  }
+  [[nodiscard]] QueueStats stats() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return stats_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::vector<Event> ring_;
+  std::uint64_t next_seq_ = 1;
+  QueueStats stats_;
+};
+
+}  // namespace ovnes::svc

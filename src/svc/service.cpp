@@ -1,0 +1,122 @@
+#include "svc/service.hpp"
+
+#include <chrono>
+#include <cstdio>
+
+#include "exec/thread_pool.hpp"
+
+namespace ovnes::svc {
+
+AdmissionService::AdmissionService(const topo::Topology& base,
+                                   ServiceConfig cfg, exec::ThreadPool* pool)
+    : queue_(cfg.queue_capacity),
+      pool_(pool != nullptr ? pool : &exec::ThreadPool::global()) {
+  const std::size_t n = cfg.num_shards == 0 ? 1 : cfg.num_shards;
+  ShardConfig sc = cfg.shard;
+  sc.capacity_fraction = 1.0 / static_cast<double>(n);
+  shards_.reserve(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    shards_.push_back(
+        std::make_unique<Shard>(base, sc, static_cast<std::uint32_t>(s)));
+  }
+  buckets_.resize(n);
+  tick_out_.resize(n);
+}
+
+std::size_t AdmissionService::drain() {
+  drained_.clear();
+  queue_.drain_into(drained_);
+  const std::size_t n = drained_.size();
+  const std::size_t num_shards = shards_.size();
+
+  std::size_t i = 0;
+  while (i < n) {
+    // Segment [i, j): everything up to the next epoch tick.
+    std::size_t j = i;
+    while (j < n && drained_[j].type != EventType::EpochTick) ++j;
+
+    if (j > i) {
+      for (auto& b : buckets_) b.clear();
+      for (std::size_t k = i; k < j; ++k) {
+        buckets_[shard_of(drained_[k].tenant_id, num_shards)].push_back(k);
+      }
+      // Decision slots are indexed by event position, so the log order is
+      // independent of which lane finishes first.
+      const std::size_t base = decisions_.size();
+      decisions_.resize(base + (j - i));
+      pool_->parallel_for(0, num_shards, [&](std::size_t s) {
+        for (std::size_t k : buckets_[s]) {
+          const auto t0 = std::chrono::steady_clock::now();
+          Decision d = shards_[s]->handle(drained_[k]);
+          const auto t1 = std::chrono::steady_clock::now();
+          d.seq = drained_[k].seq;
+          d.latency_us =
+              std::chrono::duration<double, std::micro>(t1 - t0).count();
+          decisions_[base + (k - i)] = d;
+        }
+      });
+    }
+
+    if (j < n) {
+      // Epoch tick: a barrier. Expire + re-optimize every shard, then
+      // append the expiry decisions in shard order under the tick's seq.
+      for (auto& out : tick_out_) out.clear();
+      pool_->parallel_for(0, num_shards, [&](std::size_t s) {
+        shards_[s]->end_epoch(epoch_, tick_out_[s]);
+      });
+      for (std::size_t s = 0; s < num_shards; ++s) {
+        for (Decision d : tick_out_[s]) {
+          d.seq = drained_[j].seq;
+          decisions_.push_back(d);
+        }
+      }
+      ++epoch_;
+      ++j;
+    }
+    i = j;
+  }
+  events_processed_ += n;
+  return n;
+}
+
+std::string AdmissionService::decision_log() const {
+  std::string out;
+  out.reserve(decisions_.size() * 64);
+  char line[160];
+  for (const Decision& d : decisions_) {
+    std::snprintf(line, sizeof(line),
+                  "%llu %s t=%llu sh=%u %s z=%.6f v=%.6f\n",
+                  static_cast<unsigned long long>(d.seq), to_string(d.event),
+                  static_cast<unsigned long long>(d.tenant_id), d.shard,
+                  to_string(d.kind), d.z_total, d.value);
+    out += line;
+  }
+  return out;
+}
+
+std::uint64_t AdmissionService::decision_log_digest() const {
+  const std::string log = decision_log();
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : log) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+ServiceStats AdmissionService::stats() const {
+  ServiceStats s;
+  for (const auto& sh : shards_) {
+    s.shards.accumulate(sh->stats());
+    s.live_tenants += sh->num_tenants();
+    s.overbooked_mbps += sh->overbooked_mbps();
+    s.radio_headroom_mbps += sh->radio_headroom_mbps();
+    s.cpu_headroom_cores += sh->cpu_headroom_cores();
+  }
+  s.queue = queue_.stats();
+  s.epochs = epoch_;
+  s.events_processed = events_processed_;
+  return s;
+}
+
+}  // namespace ovnes::svc

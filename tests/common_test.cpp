@@ -225,5 +225,70 @@ TEST(Row, NumberFormatting) {
   EXPECT_EQ(format_number(-0.0), "0");
 }
 
+// ---------------------------------------------------------- LatencyHistogram
+
+TEST(LatencyHistogram, CountsMeanAndMax) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.quantile(0.5), 0.0);  // empty
+  h.add(1.0);
+  h.add(2.0);
+  h.add(3.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(h.max_seen(), 3.0);
+}
+
+TEST(LatencyHistogram, QuantilesMatchExactSortedWithinBucketError) {
+  // The histogram guarantees quantiles within one log-scale bucket of the
+  // exact order statistic: a reported value is the geometric midpoint of
+  // the bucket holding rank ceil(q·n), so it is within a factor
+  // s = 10^(1/buckets_per_decade) of the exact sorted quantile.
+  const int bpd = 16;
+  LatencyHistogram h(0.1, 1e7, bpd);
+  EmpiricalDistribution exact;
+  RngStream r(17);
+  for (int i = 0; i < 50000; ++i) {
+    // Log-uniform over 4 decades plus a heavy lognormal-ish tail.
+    const double v = std::pow(10.0, r.uniform(0.0, 4.0)) *
+                     (1.0 + std::abs(r.gaussian(0.0, 0.2)));
+    h.add(v);
+    exact.add(v);
+  }
+  const double s = std::pow(10.0, 1.0 / bpd);
+  for (const double q : {0.05, 0.25, 0.50, 0.90, 0.99, 0.999}) {
+    const double e = exact.quantile(q);
+    const double a = h.quantile(q);
+    EXPECT_LE(a, e * s * 1.01) << "q=" << q;
+    EXPECT_GE(a, e / s * 0.99) << "q=" << q;
+  }
+}
+
+TEST(LatencyHistogram, UnderflowAndOverflowClamp) {
+  LatencyHistogram h(1.0, 100.0, 4);
+  h.add(0.001);   // below min -> first bucket
+  h.add(1e9);     // above max -> overflow bucket, reported as the range top
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_LE(h.quantile(0.25), 1.5);
+  EXPECT_GE(h.quantile(1.0), 99.0);
+  EXPECT_DOUBLE_EQ(h.max_seen(), 1e9);
+}
+
+TEST(LatencyHistogram, MergeMatchesCombinedStream) {
+  LatencyHistogram a(0.1, 1e7, 16), b(0.1, 1e7, 16), all(0.1, 1e7, 16);
+  RngStream r(3);
+  for (int i = 0; i < 2000; ++i) {
+    const double v = std::pow(10.0, r.uniform(0.0, 3.0));
+    (i % 2 == 0 ? a : b).add(v);
+    all.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  for (const double q : {0.5, 0.9, 0.99}) {
+    EXPECT_DOUBLE_EQ(a.quantile(q), all.quantile(q));
+  }
+  LatencyHistogram other(0.1, 1e7, 8);
+  EXPECT_THROW(a.merge(other), std::logic_error);
+}
+
 }  // namespace
 }  // namespace ovnes

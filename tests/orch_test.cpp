@@ -183,6 +183,39 @@ TEST(Simulation, RetryRejectedQueuesAgain) {
   EXPECT_EQ(r1.rejected.size() + r1.accepted.size(), rejected_first);
 }
 
+TEST(Simulation, SingleTreeSharesCutPoolAcrossEpochs) {
+  // With share_cut_pool (default on) the single-tree master keeps its
+  // Benders cuts in a Simulation-owned pool between epochs. Converged
+  // oracle forecasts + a persistently retried reject give two successive
+  // solves the *same* instance fingerprint: the second starts from the
+  // first's pooled cuts instead of separating from scratch.
+  OrchestratorConfig cfg = fast_cfg(Algorithm::Benders);
+  cfg.benders.single_tree = true;
+  cfg.learn_forecasts = false;  // declared descriptors: stable λ̂ σ̂
+  cfg.retry_rejected = true;
+  Simulation sim(topo::make_testbed(), 2, cfg);
+  // Same overload as RetryRejectedQueuesAgain: one mMTC fits, the other
+  // keeps retrying (and stays rejected), forcing a solve every epoch over
+  // an unchanged tenant set.
+  for (std::uint32_t i = 0; i < 2; ++i) {
+    sim.submit(request(i, SliceType::mMTC, 0, 10, 10.0, 0.0),
+               gaussian_factory(10.0, 0.0));
+  }
+  const EpochReport r0 = sim.run_epoch();
+  ASSERT_EQ(r0.accepted.size(), 1u);
+  ASSERT_EQ(r0.rejected.size(), 1u);
+  const EpochReport r1 = sim.run_epoch();  // pins + retry: new fingerprint
+  ASSERT_EQ(r1.rejected.size(), 1u);
+  EXPECT_GT(r1.cuts_separated, 0);
+  const EpochReport r2 = sim.run_epoch();  // identical instance: pool carry
+  ASSERT_EQ(r2.rejected.size(), 1u);
+  EXPECT_GT(r2.cuts_from_pool, 0);
+  // Overbooking accounting fields are populated alongside.
+  EXPECT_GE(r2.overbooked_mbps, 0.0);
+  EXPECT_GE(r2.radio_headroom_mbps, 0.0);
+  EXPECT_GE(r2.violation_minutes, 0.0);
+}
+
 // ---------------------------------------------------------------- Scenarios
 
 TEST(Scenario, BuildersProduceRequestedMixes) {
