@@ -9,27 +9,25 @@
 //   * the replay check: the decision log of the identical event script is
 //     byte-identical (digest-compared) at 1 and 4 worker threads.
 //
-// The event script is generated up front (seeded RngStream, fixed clock:
-// one epoch tick per simulated hour) so both replays and the timed run see
-// the exact same byte stream. Usage:
+// The event script comes from scn::make_service_day (seeded RngStream, one
+// epoch tick per simulated hour) so both replays and the timed run see the
+// exact same byte stream. Usage:
 //
 //   bench_service_day [--smoke]
 //
 // `--smoke` (or OVNES_FAST=1) shrinks the day to CI size; output rows are
 // `service_day key=value ...` either way.
 #include <chrono>
-#include <cmath>
-#include <numbers>
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
 #include "bench_util.hpp"
-#include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "exec/thread_pool.hpp"
+#include "scn/service_day.hpp"
 #include "svc/service.hpp"
 #include "topo/generators.hpp"
 
@@ -43,85 +41,6 @@ struct DayConfig {
   std::size_t hours = 24;
   std::uint64_t seed = 2018;
 };
-
-/// Diurnal load factor in (0, 1]: quiet night, 2pm peak.
-double diurnal(double hour) {
-  return 0.55 + 0.45 * std::sin(2.0 * std::numbers::pi * (hour - 8.0) / 24.0);
-}
-
-/// Build the whole day's event script: arrivals follow the diurnal curve,
-/// every live tenant files demand-update samples each hour (observed peak =
-/// diurnal level on its forecast), a slice of the population departs
-/// explicitly, the rest age out through duration_epochs, and each hour ends
-/// with an EpochTick.
-std::vector<svc::Event> make_day(const DayConfig& cfg) {
-  std::vector<svc::Event> script;
-  RngStream rng(cfg.seed);
-  struct Live {
-    std::uint64_t id;
-    double lambda_hat;
-    std::size_t depart_hour;  ///< 0 = ages out via duration_epochs
-  };
-  std::vector<Live> live;
-  std::uint64_t next_id = 1;
-
-  // Normalize the curve so the arrival total matches cfg.tenants.
-  double curve = 0.0;
-  for (std::size_t h = 0; h < cfg.hours; ++h) curve += diurnal(double(h));
-
-  for (std::size_t h = 0; h < cfg.hours; ++h) {
-    const double level = diurnal(double(h));
-    const auto arrivals = static_cast<std::size_t>(
-        std::round(double(cfg.tenants) * level / curve));
-    for (std::size_t a = 0; a < arrivals; ++a) {
-      const double pick = rng.uniform(0.0, 1.0);
-      const auto type = pick < 0.6 ? slice::SliceType::eMBB
-                        : pick < 0.9 ? slice::SliceType::mMTC
-                                     : slice::SliceType::uRLLC;
-      const double sla = slice::standard_template(type).sla_rate;
-      Live t;
-      t.id = next_id++;
-      t.lambda_hat = rng.uniform(0.3, 0.9) * sla;
-      // 15% depart explicitly later; the rest expire via duration.
-      const auto span = 2 + static_cast<std::uint64_t>(rng.uniform(0.0, 6.0));
-      t.depart_hour = rng.uniform(0.0, 1.0) < 0.15
-                          ? std::min(cfg.hours - 1, h + 1 + std::size_t(span))
-                          : 0;
-      script.push_back(svc::make_arrival(
-          t.id, type, t.lambda_hat, rng.uniform(0.1, 0.5),
-          1.0 + rng.uniform(0.0, 3.0), t.depart_hour != 0 ? 0 : span));
-      live.push_back(t);
-    }
-
-    // Hourly monitoring samples: observed peak tracks the diurnal level;
-    // one in five also refreshes the forecast (feeding the drift trigger).
-    for (const Live& t : live) {
-      const double observed =
-          t.lambda_hat * level * (0.8 + rng.uniform(0.0, 0.6));
-      const bool refresh = rng.uniform(0.0, 1.0) < 0.2;
-      script.push_back(svc::make_demand_update(
-          t.id, observed,
-          refresh ? t.lambda_hat * (0.85 + rng.uniform(0.0, 0.3)) : -1.0));
-    }
-
-    // Scheduled departures for this hour.
-    std::vector<Live> still;
-    still.reserve(live.size());
-    for (const Live& t : live) {
-      if (t.depart_hour == h && t.depart_hour != 0) {
-        script.push_back(svc::make_departure(t.id));
-      } else {
-        still.push_back(t);
-      }
-    }
-    live = std::move(still);
-    // Drop aged-out tenants from the generator's mirror so updates stop
-    // once the service expired them (duration = span epochs from arrival).
-    // Kept approximate on purpose: stale updates exercise the Unknown path.
-    script.push_back(svc::make_epoch_tick());
-  }
-  return script;
-}
 
 struct RunResult {
   std::uint64_t digest = 0;
@@ -183,7 +102,11 @@ int main(int argc, char** argv) {
   const topo::Topology topo =
       topo::make_mini(day.num_bs, 16.0 * double(day.num_bs),
                       32.0 * double(day.num_bs));
-  const std::vector<svc::Event> script = make_day(day);
+  scn::ServiceDayConfig script_cfg;
+  script_cfg.tenants = day.tenants;
+  script_cfg.hours = day.hours;
+  script_cfg.seed = day.seed;
+  const std::vector<svc::Event> script = scn::make_service_day(script_cfg);
 
   // Timed run at 4 workers (the acceptance configuration), then the serial
   // replay of the same script for the byte-identical-log check.

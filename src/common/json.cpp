@@ -45,15 +45,7 @@ void escape_to(const std::string& s, std::string& out) {
   out.push_back('"');
 }
 
-void number_to(double d, std::string& out) {
-  if (d == static_cast<long long>(d) && std::abs(d) < 1e15) {
-    out += std::to_string(static_cast<long long>(d));
-    return;
-  }
-  char buf[32];
-  std::snprintf(buf, sizeof buf, "%.17g", d);
-  out += buf;
-}
+void number_to(double d, std::string& out) { out += format_double(d); }
 
 struct Dumper {
   int indent;
@@ -274,6 +266,25 @@ std::string Value::dump(int indent) const {
   Dumper d{indent, {}};
   d.dump(*this, 0);
   return d.out;
+}
+
+std::string format_double(double d) {
+  if (!std::isfinite(d)) return "null";
+  if (d == 0.0) return std::signbit(d) ? "-0" : "0";
+  if (d == static_cast<long long>(d) && std::abs(d) < 1e15) {
+    return std::to_string(static_cast<long long>(d));
+  }
+  // Shortest round-trip: %.{p}g for p = 1..17, first whose parse is
+  // bit-exact. printf's %g digit generation for a given precision is fully
+  // specified (correctly-rounded shortest-for-that-precision), so every
+  // conforming libc emits the same bytes; 17 significant digits always
+  // round-trips a double, so the loop cannot fall through.
+  char buf[40];
+  for (int prec = 1; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, d);
+    if (std::strtod(buf, nullptr) == d) break;
+  }
+  return buf;
 }
 
 Value parse(const std::string& text) { return Parser(text).parse_document(); }

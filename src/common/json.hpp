@@ -84,4 +84,13 @@ class Value {
 /// Parse a complete JSON document (trailing whitespace allowed).
 [[nodiscard]] Value parse(const std::string& text);
 
+/// Shortest round-trip decimal rendering of a finite double: the fewest
+/// significant digits (tried in increasing order) whose strtod() parse
+/// recovers the exact bit pattern. Integral values below 10^15 render
+/// without a decimal point. The output is a pure function of the value —
+/// independent of compiler, libc printf quirks and locale — so digests over
+/// emitted JSON (BENCH_*.json, decision logs) are byte-stable everywhere.
+/// Non-finite inputs render as "null" (JSON has no Inf/NaN literals).
+[[nodiscard]] std::string format_double(double d);
+
 }  // namespace ovnes::json

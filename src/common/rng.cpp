@@ -1,5 +1,7 @@
 #include "common/rng.hpp"
 
+#include <cmath>
+
 namespace ovnes {
 namespace {
 
@@ -48,6 +50,18 @@ std::int64_t RngStream::uniform_int(std::int64_t lo, std::int64_t hi) {
 double RngStream::exponential(double mean) {
   if (mean <= 0.0) return 0.0;
   return std::exponential_distribution<double>(1.0 / mean)(engine_);
+}
+
+double RngStream::pareto(double alpha, double xmin) {
+  if (alpha <= 0.0 || xmin <= 0.0) return xmin;
+  // Inverse CDF: x = xmin / u^(1/alpha), u ~ U(0, 1]. uniform() returns
+  // [0, 1); flip it so u = 0 (infinite draw) is unreachable.
+  const double u = 1.0 - uniform();
+  return xmin * std::pow(u, -1.0 / alpha);
+}
+
+double RngStream::lognormal(double log_mean, double log_sigma) {
+  return std::exp(gaussian(log_mean, log_sigma));
 }
 
 bool RngStream::flip(double p_true) {

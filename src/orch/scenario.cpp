@@ -1,7 +1,9 @@
 #include "orch/scenario.hpp"
 
 #include <algorithm>
+#include <cmath>
 
+#include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "exec/thread_pool.hpp"
 
@@ -32,7 +34,9 @@ std::vector<TenantSpec> heterogeneous(slice::SliceType a, slice::SliceType b,
 
 ScenarioResult run_scenario(const ScenarioConfig& cfg) {
   topo::Topology topology =
-      topo::make_operator(cfg.topology, {cfg.scale, cfg.seed});
+      cfg.topology_factory
+          ? cfg.topology_factory()
+          : topo::make_operator(cfg.topology, {cfg.scale, cfg.seed});
 
   OrchestratorConfig ocfg;
   ocfg.algorithm = cfg.algorithm;
@@ -66,8 +70,27 @@ ScenarioResult run_scenario(const ScenarioConfig& cfg) {
         spec.type == slice::SliceType::mMTC ? 0.0 : spec.sigma_ratio * mean;
     req.declared_mean = mean;
     req.declared_std = sigma;
-    sim.submit(req, [mean, sigma](BsId) {
-      return std::make_unique<traffic::GaussianDemand>(mean, sigma);
+    // Forecast-error stress: the realized process drifts off the declared
+    // forecast (multiplicative bias + per-tenant lognormal jitter with
+    // E[exp(g·noise − noise²/2)] = 1, so the bias alone sets the mean
+    // error). Zero bias + zero noise keeps realized == declared exactly —
+    // no draw is taken, preserving the paper trajectories byte-for-byte.
+    double realized = mean;
+    if (cfg.forecast_bias != 0.0 || cfg.forecast_noise != 0.0) {
+      RngStream err = RngStream(cfg.seed).derive("forecast-error", id);
+      const double jitter =
+          cfg.forecast_noise != 0.0
+              ? std::exp(err.gaussian(0.0, cfg.forecast_noise) -
+                         0.5 * cfg.forecast_noise * cfg.forecast_noise)
+              : 1.0;
+      realized = mean * (1.0 + cfg.forecast_bias) * jitter;
+      if (realized < 0.0) realized = 0.0;
+    }
+    const double realized_sigma =
+        mean > 0.0 ? sigma * realized / mean : sigma;
+    sim.submit(req, [realized, realized_sigma](BsId) {
+      return std::make_unique<traffic::GaussianDemand>(realized,
+                                                       realized_sigma);
     });
     ++id;
   }

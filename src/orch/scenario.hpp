@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -31,7 +32,21 @@ struct TenantSpec {
 struct ScenarioConfig {
   std::string topology = "romanian";
   double scale = 0.04;          ///< generator scale (see DESIGN.md #7)
+  /// When set, overrides `topology`/`scale`: the scenario runs on
+  /// factory(). Must be a pure deterministic function (scn/ topology
+  /// families qualify) so the scenario stays a pure function of its config
+  /// — the determinism contract of run_scenarios depends on it.
+  std::function<topo::Topology()> topology_factory;
   std::uint64_t seed = 1;
+  // Forecast-error stress (scn/ Monte Carlo sweeps): the *realized* demand
+  // mean is (1 + forecast_bias)·exp(g·noise − noise²/2)·λ̂ with g a
+  // per-tenant standard Gaussian from a derived stream, while the tenant
+  // keeps declaring λ̂. bias > 0 means the operator under-forecast — the
+  // admission plan overbooks against reality and SLA violation minutes
+  // appear. Both zero (default) reproduces the paper's converged-oracle
+  // setup byte-for-byte.
+  double forecast_bias = 0.0;
+  double forecast_noise = 0.0;
   std::size_t k_paths = 3;
   std::vector<TenantSpec> tenants;
   Algorithm algorithm = Algorithm::Benders;

@@ -1,0 +1,134 @@
+#include "scn/service_day.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "common/json.hpp"
+#include "common/rng.hpp"
+
+namespace ovnes::scn {
+
+std::vector<svc::Event> make_service_day(const ServiceDayConfig& cfg) {
+  const RngStream root(cfg.seed);
+  std::vector<svc::Event> script;
+
+  // Hourly envelope: diurnal shape times flash-crowd windows (same
+  // construction as make_traffic_table, so both workloads share semantics).
+  std::vector<double> envelope(cfg.hours, 1.0);
+  for (std::size_t h = 0; h < cfg.hours; ++h) {
+    envelope[h] = diurnal_level(cfg.diurnal, static_cast<double>(h));
+  }
+  for (std::size_t k = 0; k < cfg.flash.spikes; ++k) {
+    RngStream fr = root.derive("flash", k);
+    const double start = fr.uniform(0.0, static_cast<double>(cfg.hours));
+    for (std::size_t h = 0; h < cfg.hours; ++h) {
+      const double delta =
+          std::fmod(static_cast<double>(h) - start + static_cast<double>(cfg.hours),
+                    static_cast<double>(cfg.hours));
+      if (delta < cfg.flash.duration_hours) envelope[h] *= cfg.flash.multiplier;
+    }
+  }
+  double curve = 0.0;
+  for (const double e : envelope) curve += e;
+
+  struct Live {
+    std::uint64_t id;
+    double lambda_hat;
+    std::size_t depart_hour;  ///< 0 = ages out via duration_epochs
+  };
+  std::vector<Live> live;
+  std::uint64_t next_id = 1;
+
+  for (std::size_t h = 0; h < cfg.hours; ++h) {
+    const double level = envelope[h];
+    const auto arrivals = static_cast<std::size_t>(
+        std::round(static_cast<double>(cfg.tenants) * level / curve));
+    for (std::size_t a = 0; a < arrivals; ++a) {
+      RngStream ar = root.derive("arrival", next_id);
+      const double pick = ar.uniform();
+      const auto type = pick < 0.6   ? slice::SliceType::eMBB
+                        : pick < 0.9 ? slice::SliceType::mMTC
+                                     : slice::SliceType::uRLLC;
+      const double sla = slice::standard_template(type).sla_rate;
+      Live t;
+      t.id = next_id++;
+      if (cfg.heavy_tail_rates) {
+        // Heavy-tailed population: elephants declare near the SLA cap.
+        const double scale = sample_heavy_tail(ar, cfg.heavy_tail);
+        t.lambda_hat = std::min(0.95, 0.1 * scale) * sla;
+      } else {
+        t.lambda_hat = ar.uniform(0.3, 0.9) * sla;
+      }
+      const auto span = 2 + static_cast<std::uint64_t>(ar.uniform(0.0, 6.0));
+      t.depart_hour =
+          ar.flip(cfg.depart_fraction)
+              ? std::min(cfg.hours - 1, h + 1 + static_cast<std::size_t>(span))
+              : 0;
+      script.push_back(svc::make_arrival(
+          t.id, type, t.lambda_hat, ar.uniform(0.1, 0.5),
+          1.0 + ar.uniform(0.0, 3.0),
+          t.depart_hour != 0 ? 0 : static_cast<std::uint32_t>(span)));
+      live.push_back(t);
+    }
+
+    // Hourly monitoring: the observed peak tracks the envelope (with jitter)
+    // and carries the forecast-error bias; one in five updates refreshes the
+    // declared forecast (feeding the drift trigger).
+    for (const Live& t : live) {
+      RngStream ur = root.derive("update", t.id * cfg.hours + h);
+      double observed = t.lambda_hat * level * (0.8 + ur.uniform(0.0, 0.6));
+      if (cfg.forecast.bias != 0.0 || cfg.forecast.noise != 0.0) {
+        double err = 1.0 + cfg.forecast.bias;
+        if (cfg.forecast.noise != 0.0) {
+          err *= std::exp(ur.gaussian(0.0, cfg.forecast.noise) -
+                          0.5 * cfg.forecast.noise * cfg.forecast.noise);
+        }
+        observed *= std::max(0.0, err);
+      }
+      const bool refresh = ur.flip(0.2);
+      script.push_back(svc::make_demand_update(
+          t.id, observed,
+          refresh ? t.lambda_hat * (0.85 + ur.uniform(0.0, 0.3)) : -1.0));
+    }
+
+    std::vector<Live> still;
+    still.reserve(live.size());
+    for (const Live& t : live) {
+      if (t.depart_hour == h && t.depart_hour != 0) {
+        script.push_back(svc::make_departure(t.id));
+      } else {
+        still.push_back(t);
+      }
+    }
+    live = std::move(still);
+    script.push_back(svc::make_epoch_tick());
+  }
+  return script;
+}
+
+std::uint64_t script_digest(const std::vector<svc::Event>& script) {
+  std::string text;
+  text.reserve(script.size() * 32);
+  for (const svc::Event& e : script) {
+    text += svc::to_string(e.type);
+    text += ' ';
+    text += std::to_string(e.tenant_id);
+    text += ' ';
+    text += std::to_string(static_cast<int>(e.slice_type));
+    text += ' ';
+    text += json::format_double(e.lambda_hat);
+    text += ' ';
+    text += json::format_double(e.sigma_hat);
+    text += ' ';
+    text += json::format_double(e.observed);
+    text += ' ';
+    text += json::format_double(e.penalty_factor);
+    text += ' ';
+    text += std::to_string(e.duration_epochs);
+    text += '\n';
+  }
+  return fnv1a(text);
+}
+
+}  // namespace ovnes::scn

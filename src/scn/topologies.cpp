@@ -1,0 +1,316 @@
+#include "scn/topologies.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace ovnes::scn {
+
+namespace {
+
+using topo::LinkTech;
+
+using topo::NodeKind;
+using topo::Topology;
+
+/// The paper's compute sizing rule (§4.3.1): edge = 20·N cores split over
+/// the edge sites, core = 5× the edge total.
+void add_compute(Topology& topo, const std::vector<NodeId>& edge_nodes,
+                 NodeId core_node, std::size_t num_bs) {
+  const double edge_total = 20.0 * static_cast<double>(num_bs);
+  const double per_site =
+      edge_total / static_cast<double>(std::max<std::size_t>(1, edge_nodes.size()));
+  for (std::size_t i = 0; i < edge_nodes.size(); ++i) {
+    topo.add_cu(edge_nodes[i], per_site, /*is_edge=*/true,
+                "edge" + std::to_string(i));
+  }
+  topo.add_cu(core_node, 5.0 * edge_total, /*is_edge=*/false, "core");
+}
+
+}  // namespace
+
+Topology make_metro(const MetroConfig& cfg) {
+  if (cfg.num_bs < 4 || cfg.core_switches < 3) {
+    throw std::invalid_argument("make_metro: need >= 4 BSs and >= 3 core switches");
+  }
+  const RngStream root(cfg.seed);
+  Topology topo;
+  topo.name = "metro";
+
+  // --- Core ring at the city centre.
+  std::vector<NodeId> core;
+  const double core_r = cfg.radius_km * 0.15;
+  for (std::size_t i = 0; i < cfg.core_switches; ++i) {
+    const double ang = 2.0 * std::numbers::pi * static_cast<double>(i) /
+                       static_cast<double>(cfg.core_switches);
+    core.push_back(topo.graph.add_node(NodeKind::Switch, core_r * std::cos(ang),
+                                       core_r * std::sin(ang),
+                                       "core" + std::to_string(i)));
+  }
+  for (std::size_t i = 0; i < cfg.core_switches; ++i) {
+    RngStream lr = root.derive("core-link", i);
+    topo.graph.add_link(core[i], core[(i + 1) % cfg.core_switches],
+                        lr.uniform(40000.0, 200000.0), LinkTech::Fiber);
+    // Cross-ring chords every other switch: the dense metro core.
+    if (cfg.core_switches > 4 && i % 2 == 0) {
+      topo.graph.add_link(core[i], core[(i + cfg.core_switches / 2) % cfg.core_switches],
+                          lr.uniform(40000.0, 200000.0), LinkTech::Fiber);
+    }
+  }
+
+  // --- Aggregation tier: agg_per_core switches fanning out of each core
+  // switch, placed on an outer ring sector around their parent.
+  std::vector<NodeId> aggs;
+  const double agg_r = cfg.radius_km * 0.45;
+  for (std::size_t c = 0; c < cfg.core_switches; ++c) {
+    for (std::size_t a = 0; a < cfg.agg_per_core; ++a) {
+      const std::size_t idx = c * cfg.agg_per_core + a;
+      RngStream ar = root.derive("agg", idx);
+      const double base = 2.0 * std::numbers::pi * static_cast<double>(c) /
+                          static_cast<double>(cfg.core_switches);
+      const double ang =
+          base + (static_cast<double>(a) + ar.uniform(0.2, 0.8)) /
+                     static_cast<double>(cfg.agg_per_core) * 2.0 *
+                     std::numbers::pi / static_cast<double>(cfg.core_switches);
+      const NodeId n = topo.graph.add_node(NodeKind::Switch,
+                                           agg_r * std::cos(ang),
+                                           agg_r * std::sin(ang),
+                                           "agg" + std::to_string(idx));
+      aggs.push_back(n);
+      // Dual-homed into the core: own parent + the next core switch.
+      topo.graph.add_link(n, core[c], ar.uniform(10000.0, 100000.0),
+                          LinkTech::Fiber);
+      topo.graph.add_link(n, core[(c + 1) % cfg.core_switches],
+                          ar.uniform(10000.0, 100000.0), LinkTech::Fiber);
+    }
+  }
+  // Random agg–agg chords for lateral path diversity.
+  const auto num_chords = static_cast<std::size_t>(
+      std::round(cfg.chord_fraction * static_cast<double>(aggs.size())));
+  for (std::size_t k = 0; k < num_chords; ++k) {
+    RngStream cr = root.derive("chord", k);
+    const auto a = static_cast<std::size_t>(
+        cr.uniform_int(0, static_cast<std::int64_t>(aggs.size()) - 1));
+    const auto b = static_cast<std::size_t>(
+        cr.uniform_int(0, static_cast<std::int64_t>(aggs.size()) - 1));
+    if (a == b) continue;
+    topo.graph.add_link(aggs[a], aggs[b], cr.uniform(10000.0, 40000.0),
+                        LinkTech::Fiber);
+  }
+
+  // --- Base stations in the annulus, homed to nearest aggregation switches.
+  for (std::size_t i = 0; i < cfg.num_bs; ++i) {
+    RngStream br = root.derive("bs", i);
+    const double ang = br.uniform(0.0, 2.0 * std::numbers::pi);
+    const double rad =
+        agg_r + (cfg.radius_km - agg_r) * std::sqrt(br.uniform());
+    const NodeId bs = topo.graph.add_node(NodeKind::BaseStation,
+                                          rad * std::cos(ang),
+                                          rad * std::sin(ang),
+                                          "bs" + std::to_string(i));
+    std::vector<std::size_t> order(aggs.size());
+    for (std::size_t s = 0; s < aggs.size(); ++s) order[s] = s;
+    std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+      return topo.graph.distance(bs, aggs[x]) < topo.graph.distance(bs, aggs[y]);
+    });
+    const auto homing = static_cast<std::size_t>(
+        br.uniform_int(cfg.bs_homing_min, cfg.bs_homing_max));
+    for (std::size_t h = 0; h < std::min(homing, aggs.size()); ++h) {
+      // Access mix: mostly fiber, some wireless last-mile.
+      const bool fiber = br.flip(0.8);
+      topo.graph.add_link(bs, aggs[order[h]],
+                          fiber ? br.uniform(2000.0, 20000.0)
+                                : br.uniform(500.0, 4000.0),
+                          fiber ? LinkTech::Fiber : LinkTech::Wireless);
+    }
+    topo.add_bs(bs, 100.0, kMbpsPerPrbIdeal, "bs" + std::to_string(i));
+  }
+
+  // --- Compute: edge CU sites multihomed into the core ring, plus the
+  // regional core CU behind a fixed-delay virtual link.
+  std::vector<NodeId> edge_nodes;
+  for (std::size_t e = 0; e < cfg.edge_cu_sites; ++e) {
+    RngStream er = root.derive("edge-cu", e);
+    const NodeId n = topo.graph.add_node(
+        NodeKind::ComputeUnit, core_r * 0.3 * static_cast<double>(e), 0.0,
+        "edge-cu" + std::to_string(e));
+    const std::size_t anchor = (e * cfg.core_switches) / cfg.edge_cu_sites;
+    topo.graph.add_link(n, core[anchor], er.uniform(40000.0, 200000.0),
+                        LinkTech::Fiber);
+    topo.graph.add_link(n, core[(anchor + 1) % cfg.core_switches],
+                        er.uniform(40000.0, 200000.0), LinkTech::Fiber);
+    edge_nodes.push_back(n);
+  }
+  const NodeId core_cu =
+      topo.graph.add_node(NodeKind::ComputeUnit, 0.0, 0.0, "core-cu");
+  topo.graph.add_link(edge_nodes.front(), core_cu, 1e7, LinkTech::Virtual,
+                      /*length=*/0.0, /*overhead=*/1.0, cfg.core_cu_delay_us);
+  add_compute(topo, edge_nodes, core_cu, cfg.num_bs);
+  return topo;
+}
+
+Topology make_wan(const WanConfig& cfg) {
+  if (cfg.num_pops < 3 || cfg.edge_cu_sites < 1 ||
+      cfg.edge_cu_sites > cfg.num_pops) {
+    throw std::invalid_argument("make_wan: need >= 3 PoPs and 1 <= edge sites <= PoPs");
+  }
+  const RngStream root(cfg.seed);
+  Topology topo;
+  topo.name = "wan";
+
+  // --- PoPs scattered over the extent.
+  std::vector<NodeId> pops;
+  std::vector<std::pair<double, double>> xy;
+  for (std::size_t i = 0; i < cfg.num_pops; ++i) {
+    RngStream pr = root.derive("pop", i);
+    const double x = pr.uniform(0.0, cfg.extent_km);
+    const double y = pr.uniform(0.0, cfg.extent_km);
+    pops.push_back(topo.graph.add_node(NodeKind::Switch, x, y,
+                                       "pop" + std::to_string(i)));
+    xy.emplace_back(x, y);
+  }
+  const auto dist = [&](std::size_t a, std::size_t b) {
+    const double dx = xy[a].first - xy[b].first;
+    const double dy = xy[a].second - xy[b].second;
+    return std::sqrt(dx * dx + dy * dy);
+  };
+
+  // --- Backbone: Prim MST guarantees connectivity; Waxman chords add the
+  // heterogeneous-degree mesh on top (hubs collect chords, leaves stay
+  // degree-1-plus-access).
+  std::vector<bool> in_tree(cfg.num_pops, false);
+  std::vector<double> best(cfg.num_pops, 1e18);
+  std::vector<std::size_t> parent(cfg.num_pops, 0);
+  in_tree[0] = true;
+  for (std::size_t j = 1; j < cfg.num_pops; ++j) {
+    best[j] = dist(0, j);
+    parent[j] = 0;
+  }
+  for (std::size_t step = 1; step < cfg.num_pops; ++step) {
+    std::size_t pick = cfg.num_pops;
+    for (std::size_t j = 0; j < cfg.num_pops; ++j) {
+      if (!in_tree[j] && (pick == cfg.num_pops || best[j] < best[pick])) pick = j;
+    }
+    in_tree[pick] = true;
+    RngStream lr = root.derive("mst-link", pick);
+    topo.graph.add_link(pops[pick], pops[parent[pick]],
+                        lr.uniform(40000.0, 200000.0), LinkTech::Fiber);
+    for (std::size_t j = 0; j < cfg.num_pops; ++j) {
+      if (!in_tree[j] && dist(pick, j) < best[j]) {
+        best[j] = dist(pick, j);
+        parent[j] = pick;
+      }
+    }
+  }
+  const double diag = cfg.extent_km * std::numbers::sqrt2;
+  for (std::size_t a = 0; a < cfg.num_pops; ++a) {
+    for (std::size_t b = a + 1; b < cfg.num_pops; ++b) {
+      if (parent[a] == b || parent[b] == a) continue;  // MST edge exists
+      RngStream wr = root.derive("waxman", a * cfg.num_pops + b);
+      const double p =
+          cfg.waxman_alpha * std::exp(-dist(a, b) / (cfg.waxman_beta * diag));
+      if (wr.flip(p)) {
+        topo.graph.add_link(pops[a], pops[b], wr.uniform(40000.0, 200000.0),
+                            LinkTech::Fiber);
+      }
+    }
+  }
+
+  // --- BS clusters fronted by each PoP (short metro access spans).
+  std::size_t bs_idx = 0;
+  for (std::size_t i = 0; i < cfg.num_pops; ++i) {
+    for (std::size_t b = 0; b < cfg.bs_per_pop; ++b) {
+      RngStream br = root.derive("bs", i * cfg.bs_per_pop + b);
+      const double ang = br.uniform(0.0, 2.0 * std::numbers::pi);
+      const double rad = br.uniform(0.5, 8.0);
+      const NodeId bs = topo.graph.add_node(
+          NodeKind::BaseStation, xy[i].first + rad * std::cos(ang),
+          xy[i].second + rad * std::sin(ang), "bs" + std::to_string(bs_idx));
+      const bool fiber = br.flip(0.6);
+      topo.graph.add_link(bs, pops[i],
+                          fiber ? br.uniform(2000.0, 20000.0)
+                                : br.uniform(500.0, 4000.0),
+                          fiber ? LinkTech::Fiber : LinkTech::Wireless);
+      topo.add_bs(bs, 100.0, kMbpsPerPrbIdeal,
+                  "bs" + std::to_string(bs_idx));
+      ++bs_idx;
+    }
+  }
+
+  // --- Compute: edge CUs at evenly spaced PoPs, national core CU behind a
+  // fixed-delay virtual link off PoP 0.
+  std::vector<NodeId> edge_nodes;
+  for (std::size_t e = 0; e < cfg.edge_cu_sites; ++e) {
+    RngStream er = root.derive("edge-cu", e);
+    const std::size_t at = (e * cfg.num_pops) / cfg.edge_cu_sites;
+    const NodeId n = topo.graph.add_node(NodeKind::ComputeUnit,
+                                         xy[at].first, xy[at].second,
+                                         "edge-cu" + std::to_string(e));
+    topo.graph.add_link(n, pops[at], er.uniform(40000.0, 200000.0),
+                        LinkTech::Fiber, /*length=*/0.5);
+    edge_nodes.push_back(n);
+  }
+  const NodeId core_cu = topo.graph.add_node(NodeKind::ComputeUnit,
+                                             xy[0].first, xy[0].second,
+                                             "core-cu");
+  topo.graph.add_link(pops[0], core_cu, 1e7, LinkTech::Virtual,
+                      /*length=*/0.0, /*overhead=*/1.0, cfg.core_cu_delay_us);
+  add_compute(topo, edge_nodes, core_cu, bs_idx);
+  return topo;
+}
+
+TopologyStats topology_stats(const topo::Topology& topo) {
+  TopologyStats s;
+  s.nodes = topo.graph.num_nodes();
+  s.links = topo.graph.num_links();
+  s.bs = topo.num_bs();
+  s.cu = topo.num_cu();
+
+  std::size_t switches = 0;
+  double degree_sum = 0.0;
+  for (std::size_t i = 0; i < s.nodes; ++i) {
+    const NodeId id(static_cast<std::uint32_t>(i));
+    const auto deg = static_cast<double>(topo.graph.adjacency(id).size());
+    if (topo.graph.node(id).kind == NodeKind::Switch) {
+      ++switches;
+      degree_sum += deg;
+    }
+    s.max_degree = std::max(s.max_degree, deg);
+  }
+  if (switches > 0) s.mean_degree = degree_sum / static_cast<double>(switches);
+
+  for (std::size_t l = 0; l < s.links; ++l) {
+    const double d =
+        topo.graph.link_delay_us(LinkId(static_cast<std::uint32_t>(l)));
+    s.mean_link_delay_us += d;
+    s.max_link_delay_us = std::max(s.max_link_delay_us, d);
+  }
+  if (s.links > 0) s.mean_link_delay_us /= static_cast<double>(s.links);
+
+  // BFS from node 0 over the adjacency lists.
+  std::vector<bool> seen(s.nodes, false);
+  std::vector<std::size_t> frontier{0};
+  if (s.nodes > 0) seen[0] = true;
+  std::size_t reached = s.nodes > 0 ? 1 : 0;
+  while (!frontier.empty()) {
+    const std::size_t at = frontier.back();
+    frontier.pop_back();
+    for (const topo::Adjacency& adj :
+         topo.graph.adjacency(NodeId(static_cast<std::uint32_t>(at)))) {
+      const std::size_t nb = adj.neighbor.index();
+      if (!seen[nb]) {
+        seen[nb] = true;
+        ++reached;
+        frontier.push_back(nb);
+      }
+    }
+  }
+  s.connected = reached == s.nodes;
+  return s;
+}
+
+}  // namespace ovnes::scn

@@ -1,0 +1,86 @@
+// Scenario topology families beyond the paper's three operator networks.
+//
+// The paper's evaluation grids run on statistical re-syntheses of three
+// urban operator topologies (topo/generators.*, ~200 BSs published size).
+// This module grows the workload space toward the ROADMAP's north star:
+// parameterized *metro* and *WAN* families that scale from unit-test size
+// to 10²–10³ nodes while keeping realistic degree and latency structure —
+// the instances the Monte Carlo SLA-risk sweeps and bench_regression's
+// pinned catalog run on.
+//
+//   * Metro: a two-tier city fabric — core switch ring in the centre,
+//     aggregation switches in concentric rings around it, BSs scattered in
+//     an annulus and homed to their nearest aggregation switches. Short
+//     fiber spans (µs-scale propagation), high path redundancy through the
+//     core, edge CUs multihomed into the core ring and a remote core CU
+//     behind a fixed-delay virtual link.
+//   * WAN: a geographic backbone — PoPs scattered over an extent of
+//     hundreds of km, connected by a minimum spanning tree plus Waxman
+//     random chords (P ∝ α·exp(−d/βL)), each PoP fronting a small BS
+//     cluster. Long-haul fiber latency dominates (ms-scale), degree is
+//     heterogeneous (tree leaves vs chord-rich hubs), and only a few PoPs
+//     host compute.
+//
+// Determinism: every draw comes from an RngStream child derived from the
+// config seed and a stable key (per-BS, per-PoP, per-link-pair), so a
+// generated topology is a pure function of its config — same seed, same
+// byte-identical structure (topo::topology_digest pins this in scn_test),
+// independent of evaluation order or thread count.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "topo/topology.hpp"
+
+namespace ovnes::scn {
+
+struct MetroConfig {
+  std::size_t num_bs = 96;          ///< base stations in the annulus
+  std::size_t core_switches = 6;    ///< inner core ring
+  std::size_t agg_per_core = 4;     ///< aggregation switches per core switch
+  std::size_t edge_cu_sites = 3;    ///< edge CU sites, multihomed to the core
+  double radius_km = 12.0;          ///< outer BS annulus radius
+  double chord_fraction = 0.4;      ///< extra random agg–agg chords
+  int bs_homing_min = 1;            ///< BS homes to [min,max] nearest aggs
+  int bs_homing_max = 2;
+  Micros core_cu_delay_us = 10000.0;  ///< metro-to-regional-DC link
+  std::uint64_t seed = 1;
+};
+
+/// Build a metro topology; total node count is
+/// num_bs + core + core·agg_per_core + edge_cu_sites + 1 (core CU).
+[[nodiscard]] topo::Topology make_metro(const MetroConfig& cfg = {});
+
+struct WanConfig {
+  std::size_t num_pops = 24;        ///< backbone PoPs
+  std::size_t bs_per_pop = 4;       ///< metro cluster fronted by each PoP
+  double extent_km = 800.0;         ///< side of the geographic square
+  double waxman_alpha = 0.35;       ///< chord probability scale
+  double waxman_beta = 0.3;         ///< chord distance decay (fraction of L)
+  std::size_t edge_cu_sites = 3;    ///< PoPs hosting an edge CU
+  Micros core_cu_delay_us = 20000.0;  ///< national-DC virtual link
+  std::uint64_t seed = 1;
+};
+
+/// Build a WAN topology; total node count is
+/// num_pops·(1 + bs_per_pop) + edge_cu_sites + 1 (core CU).
+[[nodiscard]] topo::Topology make_wan(const WanConfig& cfg = {});
+
+/// Structural summary used by the distribution sanity checks and the
+/// bench_regression correctness fields.
+struct TopologyStats {
+  std::size_t nodes = 0;
+  std::size_t links = 0;
+  std::size_t bs = 0;
+  std::size_t cu = 0;
+  double mean_degree = 0.0;     ///< over switch nodes only
+  double max_degree = 0.0;
+  double mean_link_delay_us = 0.0;
+  double max_link_delay_us = 0.0;
+  bool connected = false;       ///< every node reachable from node 0
+};
+
+[[nodiscard]] TopologyStats topology_stats(const topo::Topology& topo);
+
+}  // namespace ovnes::scn

@@ -1,0 +1,129 @@
+#include "scn/traffic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "common/json.hpp"
+
+namespace ovnes::scn {
+
+double sample_heavy_tail(RngStream& rng, const HeavyTailConfig& cfg) {
+  double v = 0.0;
+  switch (cfg.law) {
+    case HeavyTailConfig::Law::Pareto:
+      v = rng.pareto(cfg.pareto_alpha, cfg.pareto_xmin);
+      break;
+    case HeavyTailConfig::Law::Lognormal:
+      v = rng.lognormal(cfg.log_mu, cfg.log_sigma);
+      break;
+  }
+  return std::min(v, cfg.cap);
+}
+
+double diurnal_level(const DiurnalConfig& cfg, double hour) {
+  if (cfg.peak_ratio <= 1.0) return 1.0;
+  const double trough = 1.0 / cfg.peak_ratio;
+  const double shape =
+      0.5 * (1.0 + std::cos(2.0 * std::numbers::pi * (hour - cfg.peak_hour) / 24.0));
+  return trough + (1.0 - trough) * shape;
+}
+
+TrafficTable make_traffic_table(const TrafficModelConfig& cfg) {
+  if (cfg.tenants == 0 || cfg.hours == 0) {
+    throw std::invalid_argument("make_traffic_table: empty table");
+  }
+  const RngStream root(cfg.seed);
+  TrafficTable t;
+  t.tenants = cfg.tenants;
+  t.hours = cfg.hours;
+
+  // Shared hourly envelope: diurnal shape times any flash-crowd windows.
+  t.envelope.resize(cfg.hours);
+  for (std::size_t h = 0; h < cfg.hours; ++h) {
+    t.envelope[h] = diurnal_level(cfg.diurnal, static_cast<double>(h));
+  }
+  for (std::size_t k = 0; k < cfg.flash.spikes; ++k) {
+    RngStream fr = root.derive("flash", k);
+    const double start = fr.uniform(0.0, static_cast<double>(cfg.hours));
+    for (std::size_t h = 0; h < cfg.hours; ++h) {
+      const auto hh = static_cast<double>(h);
+      // Window may wrap past midnight.
+      const double delta = std::fmod(hh - start + static_cast<double>(cfg.hours),
+                                     static_cast<double>(cfg.hours));
+      if (delta < cfg.flash.duration_hours) {
+        t.envelope[h] *= cfg.flash.multiplier;
+      }
+    }
+  }
+
+  t.forecast_mbps.resize(cfg.tenants);
+  t.realized_mbps.resize(cfg.tenants * cfg.hours);
+  for (std::size_t i = 0; i < cfg.tenants; ++i) {
+    RngStream tr = root.derive("tenant", i);
+    const double scale = sample_heavy_tail(tr, cfg.heavy_tail);
+    // The tenant contracts for its peak-hour rate; the operator's forecast
+    // is exactly that declaration (converged oracle).
+    const double peak = cfg.base_rate_mbps * scale;
+    t.forecast_mbps[i] = peak;
+    // Realized process: forecast error applies per tenant (mean-one jitter,
+    // plus the systematic bias), the envelope per hour.
+    double err = 1.0 + cfg.forecast.bias;
+    if (cfg.forecast.noise != 0.0) {
+      err *= std::exp(tr.gaussian(0.0, cfg.forecast.noise) -
+                      0.5 * cfg.forecast.noise * cfg.forecast.noise);
+    }
+    if (err < 0.0) err = 0.0;
+    for (std::size_t h = 0; h < cfg.hours; ++h) {
+      t.realized_mbps[i * cfg.hours + h] = peak * err * t.envelope[h];
+    }
+  }
+  return t;
+}
+
+std::string TrafficTable::to_text() const {
+  std::string out;
+  out.reserve(tenants * hours * 12);
+  out += "tenants=" + std::to_string(tenants) +
+         " hours=" + std::to_string(hours) + "\n";
+  out += "envelope";
+  for (const double e : envelope) {
+    out += ' ';
+    out += json::format_double(e);
+  }
+  out += '\n';
+  for (std::size_t i = 0; i < tenants; ++i) {
+    out += "t" + std::to_string(i) + " fc=" +
+           json::format_double(forecast_mbps[i]);
+    for (std::size_t h = 0; h < hours; ++h) {
+      out += ' ';
+      out += json::format_double(realized(i, h));
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::uint64_t fnv1a(const std::string& text) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::uint64_t TrafficTable::digest() const { return fnv1a(to_text()); }
+
+double hill_tail_index(std::vector<double> samples, std::size_t k) {
+  if (samples.size() < 2 || k < 2 || k >= samples.size()) return 0.0;
+  std::sort(samples.begin(), samples.end(), std::greater<>());
+  const double x_k = samples[k];
+  if (x_k <= 0.0) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < k; ++i) sum += std::log(samples[i] / x_k);
+  return sum > 0.0 ? static_cast<double>(k) / sum : 0.0;
+}
+
+}  // namespace ovnes::scn

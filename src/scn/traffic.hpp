@@ -1,0 +1,108 @@
+// Scenario traffic models: heavy-tailed tenant demand, diurnal curves,
+// flash-crowd spikes and forecast-error injection.
+//
+// The paper's simulation grids draw Gaussian per-tenant demand around a
+// declared forecast. This module grows the workload space: per-tenant mean
+// demand follows heavy-tailed laws (Pareto / lognormal — a few elephant
+// tenants dominate, as in real slice populations), the day has a diurnal
+// shape with an optional flash-crowd spike, and the realized process can be
+// biased off the declared forecast to stress SLA-risk admission.
+//
+// Everything is generated from RngStream children keyed by (seed, stable
+// label, entity index) — see common/rng.hpp's splittability contract — so a
+// TrafficTable is a pure function of its config: byte-identical text (and
+// digest) for the same seed at any thread count or generation order.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace ovnes::scn {
+
+/// Per-tenant mean-demand scale distribution.
+struct HeavyTailConfig {
+  enum class Law { Pareto, Lognormal };
+  Law law = Law::Pareto;
+  double pareto_alpha = 1.8;   ///< tail index (1 < α <= 2: heavy, finite mean)
+  double pareto_xmin = 1.0;    ///< scale floor (multiplies base_rate)
+  double log_mu = 0.0;         ///< lognormal log-mean
+  double log_sigma = 1.0;      ///< lognormal log-stddev
+  double cap = 50.0;           ///< clamp (keeps a single elephant solvable)
+};
+
+/// Draw one per-tenant scale from `rng` (dimensionless multiplier >= 0).
+[[nodiscard]] double sample_heavy_tail(RngStream& rng,
+                                       const HeavyTailConfig& cfg);
+
+/// Diurnal envelope: cosine day shape peaking at `peak_hour` with
+/// peak/trough ratio `peak_ratio`; level(peak_hour) == 1.
+struct DiurnalConfig {
+  double peak_ratio = 3.0;
+  double peak_hour = 14.0;
+};
+
+[[nodiscard]] double diurnal_level(const DiurnalConfig& cfg, double hour);
+
+/// Flash crowd: `spikes` windows per day, each multiplying the load by
+/// `multiplier` for `duration_hours`, at seeded random start hours.
+struct FlashCrowdConfig {
+  std::size_t spikes = 0;      ///< 0 disables
+  double multiplier = 4.0;
+  double duration_hours = 1.5;
+};
+
+/// Forecast-error injection: realized = (1 + bias)·jitter·forecast with
+/// jitter = exp(g·noise − noise²/2), g ~ N(0,1) per tenant (mean-one, so
+/// bias alone sets the mean error). bias > 0 = operator under-forecast.
+struct ForecastErrorConfig {
+  double bias = 0.0;
+  double noise = 0.0;
+};
+
+struct TrafficModelConfig {
+  std::size_t tenants = 32;
+  std::size_t hours = 24;
+  double base_rate_mbps = 10.0;  ///< demand = base·scale·envelope
+  HeavyTailConfig heavy_tail;
+  DiurnalConfig diurnal;
+  FlashCrowdConfig flash;
+  ForecastErrorConfig forecast;
+  std::uint64_t seed = 1;
+};
+
+/// The generated workload: per-tenant declared forecasts λ̂ (the peak-hour
+/// rate the tenant contracts for) and the realized per-(tenant, hour)
+/// demand table the scenario replays against it.
+struct TrafficTable {
+  std::size_t tenants = 0;
+  std::size_t hours = 0;
+  std::vector<double> forecast_mbps;  ///< per tenant
+  std::vector<double> realized_mbps;  ///< tenant-major, tenants × hours
+  std::vector<double> envelope;       ///< shared hourly envelope (diurnal·flash)
+
+  [[nodiscard]] double realized(std::size_t tenant, std::size_t hour) const {
+    return realized_mbps[tenant * hours + hour];
+  }
+  /// Canonical text rendering (stable float formatting — json::format_double),
+  /// one row per tenant. Byte-identical for equal configs on any compiler.
+  [[nodiscard]] std::string to_text() const;
+  /// FNV-1a over to_text().
+  [[nodiscard]] std::uint64_t digest() const;
+};
+
+[[nodiscard]] TrafficTable make_traffic_table(const TrafficModelConfig& cfg);
+
+/// Hill estimator of the tail index over the top `k` order statistics —
+/// the scn_test distribution sanity check for the Pareto draws.
+[[nodiscard]] double hill_tail_index(std::vector<double> samples,
+                                     std::size_t k);
+
+/// FNV-1a over a string (the digest primitive shared by scn tables and the
+/// bench_regression report).
+[[nodiscard]] std::uint64_t fnv1a(const std::string& text);
+
+}  // namespace ovnes::scn

@@ -2,7 +2,60 @@
 
 #include <stdexcept>
 
+#include "common/json.hpp"
+
 namespace ovnes::topo {
+
+namespace {
+
+struct Fnv {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  void bytes(const std::string& s) {
+    for (const char c : s) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 0x100000001b3ull;
+    }
+    h ^= 0xff;  // field separator, so ("ab","c") != ("a","bc")
+    h *= 0x100000001b3ull;
+  }
+  void num(double d) { bytes(json::format_double(d)); }
+  void num(std::uint64_t v) { bytes(std::to_string(v)); }
+};
+
+}  // namespace
+
+std::uint64_t topology_digest(const Topology& topo) {
+  Fnv f;
+  f.bytes(topo.name);
+  for (const Node& n : topo.graph.nodes()) {
+    f.num(static_cast<std::uint64_t>(n.kind));
+    f.num(n.x);
+    f.num(n.y);
+    f.bytes(n.name);
+  }
+  for (const Link& l : topo.graph.links()) {
+    f.num(static_cast<std::uint64_t>(l.a.index()));
+    f.num(static_cast<std::uint64_t>(l.b.index()));
+    f.num(l.capacity);
+    f.num(static_cast<std::uint64_t>(l.tech));
+    f.num(l.length);
+    f.num(l.overhead);
+    f.num(l.extra_delay);
+  }
+  for (const BaseStation& b : topo.base_stations()) {
+    f.num(static_cast<std::uint64_t>(b.node.index()));
+    f.num(b.capacity);
+    f.num(b.mbps_per_prb);
+    f.bytes(b.name);
+  }
+  for (const ComputeUnit& c : topo.compute_units()) {
+    f.num(static_cast<std::uint64_t>(c.node.index()));
+    f.num(c.capacity);
+    f.num(static_cast<std::uint64_t>(c.is_edge ? 1 : 0));
+    f.bytes(c.name);
+  }
+  return f.h;
+}
 
 BsId Topology::add_bs(NodeId node, Prbs capacity, double mbps_per_prb,
                       std::string bs_name) {

@@ -57,6 +57,15 @@ class Topology {
   std::vector<ComputeUnit> cus_;
 };
 
+/// Canonical FNV-1a digest over every structural field of the topology:
+/// nodes (kind, coordinates, name), links (endpoints, capacity, tech,
+/// length, overhead, extra delay), base stations and compute units. Doubles
+/// render through json::format_double, so the digest is byte-stable across
+/// compilers. Two topologies digest equal iff a generator reproduced the
+/// same structure — the determinism battery of the scn/ families and the
+/// correctness fields of bench_regression both key on this.
+[[nodiscard]] std::uint64_t topology_digest(const Topology& topo);
+
 /// Offline-computed path sets P_{b,c} (k-shortest by delay, §2.1.2).
 class PathCatalog {
  public:

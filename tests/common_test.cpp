@@ -2,8 +2,11 @@
 // distributions, time-series store, JSON round-trip, row formatting.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <set>
+#include <vector>
 
 #include "common/json.hpp"
 #include "common/rng.hpp"
@@ -77,6 +80,47 @@ TEST(RngStream, UniformIntBounds) {
     seen.insert(v);
   }
   EXPECT_EQ(seen.size(), 6u);  // all faces observed
+}
+
+// Splittability contract (common/rng.hpp): derive() is a pure function of
+// (seed, label, index) — independent of parent consumption and call order.
+TEST(RngStream, DeriveIndependentOfParentConsumption) {
+  RngStream a(42), b(42);
+  for (int i = 0; i < 1000; ++i) a.uniform();  // burn the parent engine
+  RngStream ca = a.derive("child", 3);
+  RngStream cb = b.derive("child", 3);
+  EXPECT_EQ(ca.seed(), cb.seed());
+  for (int i = 0; i < 50; ++i) EXPECT_DOUBLE_EQ(ca.uniform(), cb.uniform());
+}
+
+TEST(RngStream, DeriveOrderIndependent) {
+  RngStream root(9);
+  const std::uint64_t forward = root.derive("x", 0).seed();
+  RngStream other(9);
+  // Deriving a sibling first changes nothing.
+  const std::uint64_t sibling = other.derive("x", 7).seed();
+  EXPECT_NE(sibling, forward);
+  EXPECT_EQ(other.derive("x", 0).seed(), forward);
+}
+
+TEST(RngStream, ParetoTailAndSupport) {
+  RngStream r(11);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = r.pareto(2.0, 1.5);
+    ASSERT_GE(v, 1.5);  // support is [xmin, inf)
+    sum += v;
+  }
+  // E[X] = alpha*xmin/(alpha-1) = 3 for alpha=2, xmin=1.5.
+  EXPECT_NEAR(sum / 20000.0, 3.0, 0.25);
+}
+
+TEST(RngStream, LognormalMedian) {
+  RngStream r(13);
+  std::vector<double> v(10001);
+  for (double& x : v) x = r.lognormal(1.0, 0.5);
+  std::nth_element(v.begin(), v.begin() + 5000, v.end());
+  EXPECT_NEAR(v[5000], std::exp(1.0), 0.1);  // median = e^mu
 }
 
 // ------------------------------------------------------------- RunningStats
@@ -207,6 +251,34 @@ TEST(Json, ParseErrors) {
 TEST(Json, UnicodeEscape) {
   using namespace ovnes::json;
   EXPECT_EQ(parse("\"\\u0041\"").as_string(), "A");
+}
+
+// format_double: shortest decimal whose strtod parse is bit-exact, so any
+// JSON (or digest text) built from doubles is byte-stable across compilers.
+TEST(Json, FormatDoubleRoundTripsBitExact) {
+  using namespace ovnes::json;
+  const double cases[] = {
+      0.1, 1.0 / 3.0, 2.0 / 3.0, 1e-300, 1e300, 5e-324 /* min denormal */,
+      2.2250738585072014e-308 /* min normal */, 0.30000000000000004,
+      1234567890.123456, 1e15 - 1.0, 1e15 + 2.0, -17.25, 3.141592653589793,
+      6.02214076e23, 1.0000000000000002 /* 1 + ulp */};
+  for (const double d : cases) {
+    const std::string s = format_double(d);
+    EXPECT_EQ(std::strtod(s.c_str(), nullptr), d) << s;
+    // parse(dump(v)) preserves the bit pattern through the Value model too.
+    EXPECT_EQ(parse(Value(d).dump()).as_number(), d) << s;
+  }
+}
+
+TEST(Json, FormatDoubleCanonicalForms) {
+  using namespace ovnes::json;
+  EXPECT_EQ(format_double(0.0), "0");
+  EXPECT_EQ(format_double(-0.0), "-0");
+  EXPECT_EQ(format_double(42.0), "42");          // integral: no exponent
+  EXPECT_EQ(format_double(-7.0), "-7");
+  EXPECT_EQ(format_double(0.5), "0.5");          // shortest, not %.17g
+  EXPECT_EQ(format_double(1.0 / 0.0), "null");   // JSON has no Inf/NaN
+  EXPECT_EQ(format_double(std::nan("")), "null");
 }
 
 // ----------------------------------------------------------------------- Row
