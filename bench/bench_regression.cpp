@@ -1,4 +1,4 @@
-// bench_regression — the pinned regression catalog behind BENCH_9.json.
+// bench_regression — the pinned regression catalog behind BENCH_10.json.
 //
 // Runs a fixed set of named cases spanning the stack — solver microbenches
 // (kept-LU cut re-solves, single-vs-multi-tree Benders convergence),
@@ -23,7 +23,7 @@
 //
 // `--smoke` runs only the smoke-tier cases — with configs identical to the
 // same-named cases in full mode, so CI can diff its subset against the
-// committed full-mode BENCH_9.json. `--out FILE` writes the report to FILE
+// committed full-mode BENCH_10.json. `--out FILE` writes the report to FILE
 // (stdout otherwise). scripts/check_bench_regression.py does the diffing.
 #include <chrono>
 #include <cstdio>
@@ -43,6 +43,7 @@
 #include "scn/topologies.hpp"
 #include "scn/traffic.hpp"
 #include "solver/lp_session.hpp"
+#include "solver/milp.hpp"
 #include "solver/simplex.hpp"
 #include "svc/service.hpp"
 #include "topo/generators.hpp"
@@ -218,6 +219,72 @@ void run_convergence(double scale, std::size_t tenants,
 }
 
 // ---------------------------------------------------------------------------
+// solver/milp_heuristics — ISSUE 10 acceptance: on a node-limited weakly
+// correlated knapsack at m >= 1000 variables (BM_MilpFirstFeasible's family),
+// pseudocost branching + RENS/LNS must reach the first incumbent with less
+// search work and no proven-gap regression versus the historical
+// most-fractional rule at the same budget. Both solves pin threads=1 so
+// every counter is a pure function of the config; the checker derives the
+// heuristics gates from these fields (milp_heuristics_gates).
+
+LpModel bnb_knapsack(int n, int rows, std::uint64_t seed) {
+  RngStream rng(seed);
+  LpModel m;
+  std::vector<std::vector<Coef>> caps(static_cast<size_t>(rows));
+  std::vector<double> totals(static_cast<size_t>(rows), 0.0);
+  for (int j = 0; j < n; ++j) {
+    const double w = rng.uniform(1.0, 10.0);
+    m.add_binary("b" + std::to_string(j), -(w + rng.uniform(0.0, 2.0)));
+    for (int r = 0; r < rows; ++r) {
+      const double wr = r == 0 ? w : rng.uniform(1.0, 10.0);
+      caps[static_cast<size_t>(r)].push_back({j, wr});
+      totals[static_cast<size_t>(r)] += wr;
+    }
+  }
+  for (int r = 0; r < rows; ++r) {
+    m.add_row("cap" + std::to_string(r), RowSense::LessEq,
+              0.5 * totals[static_cast<size_t>(r)],
+              std::move(caps[static_cast<size_t>(r)]));
+  }
+  return m;
+}
+
+void run_milp_heuristics(int n, int rows, long max_nodes,
+                         json::Object& correctness, json::Object& timing) {
+  using namespace ovnes::solver;
+  const LpModel m = bnb_knapsack(n, rows, 23);
+
+  MilpOptions off;  // the pre-heuristics configuration
+  off.threads = 1;
+  off.max_nodes = max_nodes;
+  off.time_limit_sec = 600.0;  // the node budget is the binding limit
+  const auto t0 = std::chrono::steady_clock::now();
+  const MilpResult def = solve_milp(m, off);
+  timing["default_ms"] = now_ms(t0);
+
+  MilpOptions on = off;
+  on.branching = BranchRule::Pseudocost;
+  on.rens_heuristic = true;
+  on.lns_interval = 200;
+  const auto t1 = std::chrono::steady_clock::now();
+  const MilpResult heur = solve_milp(m, on);
+  timing["heuristics_ms"] = now_ms(t1);
+
+  correctness["vars"] = n;
+  correctness["def_status"] = to_string(def.status);
+  correctness["def_nodes"] = def.nodes;
+  correctness["def_first_incumbent_nodes"] = def.first_incumbent_nodes;
+  correctness["def_gap"] = def.gap();
+  correctness["heur_status"] = to_string(heur.status);
+  correctness["heur_nodes"] = heur.nodes;
+  correctness["heur_first_incumbent_nodes"] = heur.first_incumbent_nodes;
+  correctness["heur_gap"] = heur.gap();
+  correctness["heuristic_incumbents"] = heur.heuristic_incumbents;
+  correctness["strong_probes"] = heur.strong_probes;
+  correctness["pseudocost_branchings"] = heur.pseudocost_branchings;
+}
+
+// ---------------------------------------------------------------------------
 // orch/metro + orch/wan — one admission scenario on each scn topology
 // family (the full-tier cases run at 100+ nodes). Correctness pins the
 // generated topology (digest + structure) and the scenario outcome.
@@ -369,6 +436,19 @@ std::vector<Case> make_catalog() {
                      run_convergence(s, n, c, t);
                    }});
   }
+
+  cat.push_back({"solver/milp_heuristics_n1000", "smoke",
+                 "bnb_knapsack n=1000 rows=3 seed=23 max_nodes=2000 "
+                 "pseudocost rel=4 rens lns=200 threads=1",
+                 [](json::Object& c, json::Object& t) {
+                   run_milp_heuristics(1000, 3, 2000, c, t);
+                 }});
+  cat.push_back({"solver/milp_heuristics_n2000", "full",
+                 "bnb_knapsack n=2000 rows=4 seed=23 max_nodes=4000 "
+                 "pseudocost rel=4 rens lns=200 threads=1",
+                 [](json::Object& c, json::Object& t) {
+                   run_milp_heuristics(2000, 4, 4000, c, t);
+                 }});
 
   {
     scn::MetroConfig small;

@@ -444,6 +444,44 @@ void BM_MilpBnbNodeCopy(benchmark::State& state) {
 }
 BENCHMARK(BM_MilpBnbNodeCopy)->Unit(benchmark::kMillisecond);
 
+// Anytime first-feasible behaviour (ISSUE 10): the heuristics variant of
+// BM_MilpBnbThroughput at m >= 1000 variables. range(0) = variable count,
+// range(1) = heuristics+pseudocost on/off. Node-limited so the counters
+// measure time-to-first-incumbent and the proven gap at equal search
+// budget; the pinned twins live in bench_regression's
+// solver/milp_heuristics_* cases.
+void BM_MilpFirstFeasible(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const bool heur = state.range(1) != 0;
+  const LpModel m = correlated_knapsack(n, 3, 23);
+  MilpOptions opts;
+  opts.threads = 1;
+  // The root dive alone consumes hundreds of node-counted LP solves at
+  // n >= 1000, so the budget must scale with n for first_incumbent_nodes
+  // to be meaningful (mirrors the bench_regression pinned cases).
+  opts.max_nodes = 2 * n;
+  if (heur) {
+    opts.branching = BranchRule::Pseudocost;
+    opts.rens_heuristic = true;
+    opts.lns_interval = 200;
+  }
+  long first = -1;
+  long heur_incumbents = 0;
+  double gap = 0.0;
+  for (auto _ : state) {
+    const MilpResult r = solve_milp(m, opts);
+    first = r.first_incumbent_nodes;
+    heur_incumbents = r.heuristic_incumbents;
+    gap = r.gap();
+  }
+  state.counters["first_incumbent_nodes"] = static_cast<double>(first);
+  state.counters["heuristic_incumbents"] = static_cast<double>(heur_incumbents);
+  state.counters["gap"] = gap;
+}
+BENCHMARK(BM_MilpFirstFeasible)
+    ->Args({1000, 0})->Args({1000, 1})->Args({2000, 0})->Args({2000, 1})
+    ->Unit(benchmark::kMillisecond);
+
 void BM_MilpKnapsack(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   RngStream rng(7);

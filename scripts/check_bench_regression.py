@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Diff a bench_regression report against the committed BENCH_9.json baseline.
+"""Diff a bench_regression report against the committed BENCH_10.json baseline.
 
 Two modes:
 
@@ -8,7 +8,7 @@ Two modes:
       the fingerprint (canonical config digest) and every `correctness`
       field must be EXACTLY equal — any drift means either a real
       regression or an intentional change that requires regenerating the
-      baseline (run `bench_regression --out BENCH_9.json` and commit it).
+      baseline (run `bench_regression --out BENCH_10.json` and commit it).
       `timing` duration fields (*_ms / *_sec) must stay within a factor of
       --band of the baseline; fields whose baseline is below the noise
       floor (5 ms / 0.005 s) are skipped, and rate / latency-percentile
@@ -32,6 +32,13 @@ scripts/check_convergence_regression.py used to derive from bench output,
 now computed from the solver/convergence_* cases of CURRENT (or B):
 summed st_sep_rounds strictly below summed mt_sep_rounds, summed st_pivots
 within --pivot-slack of mt_pivots, and optimality parity per case.
+
+The solver/milp_heuristics_* cases carry their own gates (ISSUE 10): at an
+equal node budget the heuristics+pseudocost configuration must find an
+incumbent (>= 1 from a heuristic, with strong-branching probes actually
+run), must reach its first incumbent no later than the default rule, and
+must not regress the proven gap (a default run with no incumbent — null
+gap — gates trivially).
 
 Appends a markdown diff table to $GITHUB_STEP_SUMMARY when set.
 Exit codes: 0 pass, 1 regression, 2 malformed input.
@@ -76,7 +83,7 @@ def diff_case(name, base, cur, band, failures, rows):
         failures.append(
             f"{name}: config fingerprint changed "
             f"({base['fingerprint']} -> {cur['fingerprint']}); "
-            f"regenerate BENCH_9.json")
+            f"regenerate BENCH_10.json")
         return
     bc, cc = base["correctness"], cur["correctness"]
     for field in sorted(set(bc) | set(cc)):
@@ -127,6 +134,34 @@ def convergence_gates(report, pivot_slack, failures):
                             f"{c['name']}")
 
 
+def milp_heuristics_gates(report, failures):
+    """ISSUE 10 acceptance gates over the solver/milp_heuristics_* cases."""
+    cases = [c for c in report["cases"]
+             if c["name"].startswith("solver/milp_heuristics")]
+    for c in cases:
+        cc = c["correctness"]
+        name = c["name"]
+        if cc.get("heur_status") not in ("optimal", "feasible"):
+            failures.append(f"{name}: heuristics run found no incumbent "
+                            f"(status {cc.get('heur_status')!r})")
+        if cc.get("heuristic_incumbents", 0) < 1:
+            failures.append(f"{name}: no heuristic incumbent was installed")
+        if cc.get("strong_probes", 0) < 1:
+            failures.append(f"{name}: strong branching never probed")
+        def_first = cc.get("def_first_incumbent_nodes", -1)
+        heur_first = cc.get("heur_first_incumbent_nodes", -1)
+        if def_first >= 0 and not (0 <= heur_first <= def_first):
+            failures.append(
+                f"{name}: heuristics reached the first incumbent later than "
+                f"the default rule: {heur_first} > {def_first}")
+        def_gap, heur_gap = cc.get("def_gap"), cc.get("heur_gap")
+        if def_gap is not None:  # null = default run proved no gap at all
+            if heur_gap is None or heur_gap > def_gap + 1e-6:
+                failures.append(
+                    f"{name}: proven gap regressed with heuristics on: "
+                    f"{heur_gap} > {def_gap}")
+
+
 def emit_summary(title, rows, failures):
     lines = [f"### {title}", ""]
     if rows:
@@ -165,6 +200,7 @@ def run_exact(a_path, b_path, pivot_slack):
                 if ca[name]["correctness"].get(f) != cb[name]["correctness"].get(f))
             failures.append(f"{name}: correctness differs on {fields}")
     convergence_gates(b, pivot_slack, failures)
+    milp_heuristics_gates(b, failures)
     emit_summary("bench_regression determinism (exact)", [], failures)
     return 1 if failures else 0
 
@@ -179,7 +215,7 @@ def run_diff(base_path, cur_path, band, pivot_slack):
     if base["catalog_fingerprint"] != cur["catalog_fingerprint"]:
         failures.append(
             "catalog fingerprint changed — the case catalog or a case config "
-            "was edited; regenerate BENCH_9.json with `bench_regression --out` "
+            "was edited; regenerate BENCH_10.json with `bench_regression --out` "
             "and commit it")
 
     smoke = cur["mode"] == "smoke"
@@ -190,13 +226,14 @@ def run_diff(base_path, cur_path, band, pivot_slack):
         failures.append(f"cases missing from current run: {missing}")
     extra = sorted(set(cc) - set(cb))
     if extra:
-        failures.append(f"cases not in baseline (regenerate BENCH_9.json): "
+        failures.append(f"cases not in baseline (regenerate BENCH_10.json): "
                         f"{extra}")
 
     for name in sorted(expected & set(cc)):
         diff_case(name, cb[name], cc[name], band, failures, rows)
 
     convergence_gates(cur, pivot_slack, failures)
+    milp_heuristics_gates(cur, failures)
     mode = f"{cur['mode']} vs {base['mode']} baseline"
     emit_summary(f"bench_regression diff ({mode})", rows, failures)
     return 1 if failures else 0
@@ -206,7 +243,7 @@ def main():
     ap = argparse.ArgumentParser(
         description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter)
-    ap.add_argument("baseline", help="baseline report (BENCH_9.json), or "
+    ap.add_argument("baseline", help="baseline report (BENCH_10.json), or "
                                      "report A with --exact")
     ap.add_argument("current", help="current report, or report B with --exact")
     ap.add_argument("--exact", action="store_true",

@@ -382,6 +382,10 @@ AdmissionResult solve_benders_single_tree(const AcrrInstance& inst,
   res.cuts_evicted = mr.cuts_evicted;
   res.separation_rounds = mr.separation_rounds;
   res.master_pivots = mr.lp_iterations;
+  res.pseudocost_branchings = mr.pseudocost_branchings;
+  res.strong_probes = mr.strong_probes;
+  res.heuristic_incumbents = mr.heuristic_incumbents;
+  res.first_incumbent_nodes = mr.first_incumbent_nodes;
   return res;
 }
 
@@ -423,6 +427,12 @@ AdmissionResult solve_benders(const AcrrInstance& inst,
   long master_pivots = 0;
   long cuts_purged = 0;
   long slave_rounds = 0;
+  // Branching/heuristic counters summed over the per-iteration master
+  // solves; first_incumbent_nodes takes the min (best anytime profile).
+  long pc_branchings = 0;
+  long strong_probes = 0;
+  long heur_incumbents = 0;
+  long first_incumbent = -1;
   const auto append_cut = [&](std::string name, RowSense sense, double rhs,
                               std::vector<Coef> coefs) {
     if (purging) {
@@ -481,6 +491,13 @@ AdmissionResult solve_benders(const AcrrInstance& inst,
     if (!opts.warm_start) msession.clear_basis();
     const MilpResult mr = solve_milp(msession, mopts);
     master_pivots += mr.lp_iterations;
+    pc_branchings += mr.pseudocost_branchings;
+    strong_probes += mr.strong_probes;
+    heur_incumbents += mr.heuristic_incumbents;
+    if (mr.first_incumbent_nodes >= 0 &&
+        (first_incumbent < 0 || mr.first_incumbent_nodes < first_incumbent)) {
+      first_incumbent = mr.first_incumbent_nodes;
+    }
     if (mr.status == MilpStatus::Infeasible) {
       // Structurally infeasible master (e.g. conflicting pinned slices
       // without the §3.4 relaxation): report an empty admission.
@@ -681,6 +698,10 @@ AdmissionResult solve_benders(const AcrrInstance& inst,
   res.cuts_evicted = cuts_purged;
   res.separation_rounds = slave_rounds;
   res.master_pivots = master_pivots;
+  res.pseudocost_branchings = pc_branchings;
+  res.strong_probes = strong_probes;
+  res.heuristic_incumbents = heur_incumbents;
+  res.first_incumbent_nodes = first_incumbent;
   return res;
 }
 
@@ -763,6 +784,11 @@ AdmissionResult solve_no_overbooking(const AcrrInstance& inst,
   res.optimal = mr.status == MilpStatus::Optimal;
   res.solve_ms = std::chrono::duration<double>(
                      std::chrono::steady_clock::now() - t0).count() * 1e3;
+  res.master_pivots = mr.lp_iterations;
+  res.pseudocost_branchings = mr.pseudocost_branchings;
+  res.strong_probes = mr.strong_probes;
+  res.heuristic_incumbents = mr.heuristic_incumbents;
+  res.first_incumbent_nodes = mr.first_incumbent_nodes;
   return res;
 }
 

@@ -140,6 +140,15 @@ struct AdmissionResult {
   long cuts_evicted = 0;     ///< cuts aged/purged out of the active set
   long separation_rounds = 0;///< slave separation invocations
   long master_pivots = 0;    ///< master simplex iterations, all solves summed
+  // -- Master branching/heuristic counters (zero unless the MILP master
+  //    ran with BranchRule::Pseudocost / primal heuristics enabled).
+  long pseudocost_branchings = 0;  ///< reliable pseudocost branch decisions
+  long strong_probes = 0;          ///< strong-branching probe LPs solved
+  long heuristic_incumbents = 0;   ///< incumbents from dive/RENS/LNS
+  /// Master tree nodes at the first incumbent (min across MILP solves for
+  /// the multi-tree loop); -1 when no solve found one. The anytime
+  /// time-to-first-feasible metric the heuristics target.
+  long first_incumbent_nodes = -1;
 
   [[nodiscard]] std::size_t num_accepted() const;
   /// Σ rewards of accepted tenants (per epoch).

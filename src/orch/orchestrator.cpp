@@ -174,6 +174,10 @@ EpochReport Simulation::run_epoch() {
     report.cuts_from_pool = result.cuts_from_pool;
     report.cuts_evicted = result.cuts_evicted;
     report.separation_rounds = result.separation_rounds;
+    report.pseudocost_branchings = result.pseudocost_branchings;
+    report.strong_probes = result.strong_probes;
+    report.heuristic_incumbents = result.heuristic_incumbents;
+    report.first_incumbent_nodes = result.first_incumbent_nodes;
 
     // Update pinned actives with fresh reservations.
     for (std::size_t i = 0; i < active_.size(); ++i) {

@@ -110,6 +110,12 @@ struct EpochReport {
   long cuts_from_pool = 0;
   long cuts_evicted = 0;
   long separation_rounds = 0;
+  // Master branching/heuristic counters for this epoch's admission solve
+  // (zero unless pseudocost branching / primal heuristics are enabled).
+  long pseudocost_branchings = 0;
+  long strong_probes = 0;
+  long heuristic_incumbents = 0;
+  long first_incumbent_nodes = -1;
   /// Southbound enforcement calls the domain controllers refused. Always 0
   /// unless the §3.4 deficit is active (leased/federated capacity is not
   /// modelled in the controllers' physical inventories).

@@ -11,8 +11,10 @@
 #include <optional>
 #include <tuple>
 
+#include "common/rng.hpp"
 #include "exec/thread_pool.hpp"
 #include "solver/cut_pool.hpp"
+#include "solver/heuristics.hpp"
 
 namespace ovnes::solver {
 
@@ -45,6 +47,12 @@ struct Node {
   /// branched variable is pushed out of bounds, so the child LP re-solves
   /// from here with a handful of dual pivots instead of a full Phase 1.
   SharedBasis warm;
+  // Branching that created this node (pseudocost bookkeeping): comparing
+  // this node's LP bound against parent_bound yields the true observed
+  // degradation for (branch_var, direction). branch_var = -1 at the root.
+  int branch_var = -1;
+  bool branch_up = false;
+  double branch_frac = 0.0;  ///< parent LP fractional part of branch_var
 };
 
 /// Heap order for the best-first pool: lowest parent bound first; among
@@ -88,6 +96,16 @@ struct BnbShared {
   /// stall the incumbent/pool bookkeeping of other lanes.
   std::mutex sep_mu;
 
+  /// Pseudocost state (BranchRule::Pseudocost runs only), guarded by
+  /// pc_mu — separate from `mu` so strong-branching probe bookkeeping
+  /// never stalls the incumbent/pool publishing of other lanes.
+  std::mutex pc_mu;
+  Pseudocosts pc;                  ///< guarded by pc_mu
+  long pseudocost_branchings = 0;  ///< guarded by pc_mu
+  /// Probe LPs reserved AND run (reserved in pairs under pc_mu before the
+  /// fan-out, so the budget is never oversubscribed across lanes).
+  long strong_probes = 0;
+
   std::mutex mu;
   std::condition_variable cv;
   // All fields below are guarded by mu.
@@ -104,6 +122,11 @@ struct BnbShared {
   long cuts_separated = 0;
   long cuts_from_pool = 0;
   long separation_rounds = 0;
+  // Primal-heuristic observability + LNS scheduling (guarded by mu).
+  long heuristic_incumbents = 0;
+  long first_incumbent_nodes = -1;
+  long lns_next = 0;  ///< node count that triggers the next LNS episode
+  long lns_runs = 0;  ///< episodes started (seeds the destroy stream)
   bool hit_limit = false;
   bool unbounded = false;
   bool root_solved = false;
@@ -162,6 +185,139 @@ void round_integers(const std::vector<int>& int_vars, std::vector<double>& x) {
   }
 }
 
+/// Install a strictly better incumbent and keep the anytime counters.
+/// Caller holds sh.mu (or runs in the serial pre-lane phase, where no
+/// other thread can observe the fields). `heuristic` marks dive/RENS/LNS
+/// sources for the heuristic_incumbents counter.
+void install_incumbent(BnbShared& sh, double obj, const std::vector<double>& x,
+                       bool heuristic) {
+  if (obj >= sh.incumbent) return;
+  const bool first = sh.best_x.empty();
+  sh.incumbent = obj;
+  sh.best_x = x;
+  round_integers(sh.int_vars, sh.best_x);
+  if (first) sh.first_incumbent_nodes = sh.nodes;
+  if (heuristic) ++sh.heuristic_incumbents;
+}
+
+/// \brief Measured bound deltas of one strong-branching probe pair.
+struct ProbeOutcome {
+  double down = -1.0;  ///< child-bound delta; < 0 when the probe proved nothing
+  double up = -1.0;
+  long iters = 0;      ///< LP pivots spent (caller folds into lp_iterations)
+};
+
+/// One strong-branching probe: the child LP bound delta after pushing
+/// `var` to one side, solved on a copy of the node model so the lane
+/// session's live result stays untouched. The copy + solve_lp(warm) pair
+/// makes a probe a pure function of (node model, basis), identical
+/// whether it runs inline or on a fanned-out pool lane.
+double probe_delta(const LpModel& node_model, const SimplexOptions& lp_opts,
+                   const Basis* warm, int var, bool up, double v,
+                   double parent_obj, long& iters) {
+  LpModel copy = node_model;
+  const auto& vb = node_model.variable(var);
+  if (up) {
+    copy.set_bounds(var, std::ceil(v), vb.upper);
+  } else {
+    copy.set_bounds(var, vb.lower, std::floor(v));
+  }
+  LpResult r = solve_lp(copy, lp_opts, warm);
+  if (r.status == LpStatus::InvalidBasis) r = solve_lp(copy, lp_opts);
+  iters += r.iterations;
+  if (r.status == LpStatus::Optimal) {
+    return std::max(r.objective - parent_obj, 0.0);
+  }
+  if (r.status == LpStatus::Infeasible) {
+    // The whole child prunes — the strongest possible degradation. Feed a
+    // bounded-but-large estimate so the running mean stays finite.
+    return std::max(1.0, std::abs(parent_obj));
+  }
+  if (r.status == LpStatus::IterationLimit && r.used_dual_simplex) {
+    // Truncated dual simplex: the running objective is a monotone lower
+    // bound on the child LP, hence a valid under-estimate of the delta.
+    return std::max(r.objective - parent_obj, 0.0);
+  }
+  return -1.0;  // no usable information
+}
+
+/// Branch-variable selection dispatch. BranchRule::MostFractional keeps
+/// the historical pick_branch_var byte-for-byte (pinned trajectories);
+/// BranchRule::Pseudocost strong-branches unreliable candidates first —
+/// probe pairs fanned over idle pool lanes, observations applied in
+/// candidate order so the pseudocost state is independent of probe
+/// completion order — then maximizes the product score. Returns -1 when
+/// the point is integral; `probe_iters` accumulates probe LP pivots.
+int choose_branch(BnbShared& sh, const LpModel& node_model, const LpResult& lp,
+                  const SharedBasis& warm, long& probe_iters) {
+  const MilpOptions& opts = sh.opts;
+  if (opts.branching != BranchRule::Pseudocost) {
+    return pick_branch_var(*sh.base, sh.int_vars, opts.int_tol, lp.x);
+  }
+  const std::vector<BranchCandidate> cands =
+      fractional_candidates(*sh.base, sh.int_vars, opts.int_tol, lp.x);
+  if (cands.empty()) return -1;
+  if (cands.size() == 1) return cands[0].var;  // nothing to rank
+
+  // Reserve probe pairs for unreliable candidates under the global budget
+  // (both reservations and the counter live under pc_mu, so concurrent
+  // lanes can never oversubscribe max_strong_probes).
+  std::vector<std::size_t> to_probe;
+  {
+    std::lock_guard<std::mutex> lk(sh.pc_mu);
+    for (std::size_t i = 0; i < cands.size(); ++i) {
+      if (sh.pc.reliable(cands[i].var, opts.reliability)) continue;
+      if (sh.strong_probes + 2 > opts.max_strong_probes) break;
+      sh.strong_probes += 2;
+      to_probe.push_back(i);
+    }
+  }
+  if (!to_probe.empty()) {
+    SimplexOptions probe_lp = opts.lp;
+    probe_lp.allow_dual = true;
+    probe_lp.keep_factors = false;
+    probe_lp.max_iterations = opts.strong_probe_iterations;
+    std::vector<ProbeOutcome> out(to_probe.size());
+    const Basis* warm_ptr = warm != nullptr ? warm.get() : nullptr;
+    const auto probe_one = [&](std::size_t k) {
+      const BranchCandidate& c = cands[to_probe[k]];
+      ProbeOutcome& o = out[k];
+      o.down = probe_delta(node_model, probe_lp, warm_ptr, c.var,
+                           /*up=*/false, c.value, lp.objective, o.iters);
+      o.up = probe_delta(node_model, probe_lp, warm_ptr, c.var,
+                         /*up=*/true, c.value, lp.objective, o.iters);
+    };
+    exec::ThreadPool& pool =
+        opts.pool != nullptr ? *opts.pool : exec::ThreadPool::global();
+    // parallel_for is re-entrant (the calling lane drains its own chunk
+    // counter), so fanning out from inside a lane task cannot deadlock a
+    // saturated pool; with one lane it degenerates to the plain loop.
+    pool.parallel_for(0, to_probe.size(), probe_one);
+    std::lock_guard<std::mutex> lk(sh.pc_mu);
+    for (std::size_t k = 0; k < to_probe.size(); ++k) {
+      const BranchCandidate& c = cands[to_probe[k]];
+      if (out[k].down >= 0.0) sh.pc.observe_down(c.var, out[k].down, c.frac);
+      if (out[k].up >= 0.0) sh.pc.observe_up(c.var, out[k].up, 1.0 - c.frac);
+      probe_iters += out[k].iters;
+    }
+  }
+
+  std::vector<double> scores(cands.size());
+  std::lock_guard<std::mutex> lk(sh.pc_mu);
+  for (std::size_t i = 0; i < cands.size(); ++i) {
+    scores[i] = sh.pc.score(cands[i].var, cands[i].frac);
+  }
+  const int pick = select_by_score(cands, scores);
+  bool probed = false;
+  for (std::size_t k : to_probe) probed = probed || cands[k].var == pick;
+  if (!probed && sh.pc.reliable(pick, opts.reliability)) {
+    // The chosen variable was ranked purely from accumulated pseudocosts
+    // (already reliable, no probe this node): a pseudocost branching.
+    ++sh.pseudocost_branchings;
+  }
+  return pick;
+}
+
 /// \brief One separation attempt at an LP point (lazy-cut runs only).
 ///
 /// Pool lookup first — a pooled row violated at `x` rejects the candidate
@@ -202,6 +358,112 @@ SeparationStep separate_candidate(BnbShared& sh, const LpResult& lp,
   }
   sh.cuts->advance_round();
   return step;
+}
+
+/// Shared tail of a heuristic episode (RENS at the root, LNS re-runs from
+/// the incumbent): budgeted fix-and-dive on the session's restricted
+/// frame, integral candidates routed through the lazy-cut acceptance gate
+/// (a heuristic incumbent passes the exact same verification as a tree
+/// candidate), bookkeeping folded into sh under mu. The caller owns the
+/// enclosing restriction frame; cuts the gate appends land inside the
+/// dive's nested frames (permanent copies reach every lane via the pool).
+/// Returns true when an incumbent was installed.
+bool run_heuristic_dive(BnbShared& sh, LpSession& sess, double cutoff) {
+  const MilpOptions& opts = sh.opts;
+  long gate_fresh = 0, gate_pool = 0, gate_rounds = 0;
+  const AcceptGate gate = [&](const LpResult& cand) {
+    SeparationStep s = separate_candidate(sh, cand, true);
+    gate_rounds += s.called ? 1 : 0;
+    gate_fresh += s.fresh;
+    gate_pool += s.from_pool ? static_cast<long>(s.rows.size()) : 0;
+    if (s.abandon) return GateVerdict::Abandon;
+    if (s.rows.empty()) return GateVerdict::Accept;
+    for (Rowdef& r : s.rows) sess.add_cut(std::move(r));
+    return GateVerdict::Reject;
+  };
+  SubDiveOptions dopts;
+  dopts.int_tol = opts.int_tol;
+  dopts.cutoff = cutoff;
+  dopts.max_gate_rounds = opts.max_separation_rounds;
+  {
+    std::lock_guard<std::mutex> lk(sh.mu);
+    dopts.max_lp_solves =
+        std::min(opts.heur_node_budget, std::max(0L, opts.max_nodes - sh.nodes));
+  }
+  dopts.should_stop = [&sh] {
+    if (elapsed_sec(sh.t0) > sh.opts.time_limit_sec) return true;
+    std::lock_guard<std::mutex> lk(sh.mu);
+    return sh.done;
+  };
+  const long it0 = sess.stats().iterations;
+  const SubDiveResult sub = fix_and_dive(sess, sh.int_vars, dopts,
+                                         sh.cuts != nullptr ? &gate : nullptr);
+  bool installed = false;
+  {
+    std::lock_guard<std::mutex> lk(sh.mu);
+    sh.nodes += sub.lp_solves;  // heuristic LPs consume node budget
+    sh.lp_iterations += sess.stats().iterations - it0;
+    sh.separation_rounds += gate_rounds;
+    sh.cuts_separated += gate_fresh;
+    sh.cuts_from_pool += gate_pool;
+    if (sub.abandoned) {
+      // Heuristic-found-but-unverified candidate: fold conservatively —
+      // the point was discarded, and the solve can no longer claim
+      // Optimal on a tree whose separation oracle failed mid-run (the
+      // same accounting as an abandoned lane node).
+      sh.hit_limit = true;
+    }
+    if (sub.found && sub.objective < sh.incumbent) {
+      install_incumbent(sh, sub.objective, sub.x, /*heuristic=*/true);
+      installed = true;
+    }
+  }
+  return installed;
+}
+
+/// One LNS episode: fix a seeded subset of integer variables to the
+/// incumbent (destroy fraction freed), fix-and-dive the rest under the
+/// heuristic budget with the incumbent objective as cutoff. Runs on the
+/// claiming lane's own session between nodes (frame-scoped; pool cuts
+/// synced first) and releases its in_flight slot when done.
+void lns_episode(BnbShared& sh, std::optional<LpSession>& sess,
+                 std::size_t& pool_version, long run_idx, double cutoff,
+                 const std::vector<double>& incumbent) {
+  const MilpOptions& opts = sh.opts;
+  int depth0 = 0;
+  try {
+    if (!sess.has_value()) {
+      SimplexOptions lane_lp = opts.lp;
+      lane_lp.keep_factors = false;
+      sess.emplace(*sh.base, lane_lp);
+    }
+    if (sh.cuts != nullptr) {
+      auto fresh_rows = sh.cuts->fetch_new(pool_version);
+      for (Rowdef& r : fresh_rows) sess->add_cut(std::move(r));
+    }
+    depth0 = sess->depth();
+    // Destroy set: a pure function of the episode index, independent of
+    // which lane claims it (RngStream::derive splittability contract).
+    RngStream rng = RngStream(0x6f766e65736c6e73ULL)  // "ovneslns"
+                        .derive("lns", static_cast<std::uint64_t>(run_idx));
+    sess->push();
+    lns_restrict(*sess, sh.int_vars, incumbent,
+                 [&](int) { return rng.flip(opts.lns_destroy_fraction); });
+    run_heuristic_dive(sh, *sess, cutoff);
+    sess->pop();
+  } catch (...) {
+    std::lock_guard<std::mutex> lk(sh.mu);
+    if (sh.error == nullptr) sh.error = std::current_exception();
+    sh.done = true;
+  }
+  // Unwind a frame left open by a throw so the lane's next node still
+  // evaluates on the root box.
+  if (sess.has_value()) {
+    while (sess->depth() > depth0) sess->pop();
+  }
+  std::lock_guard<std::mutex> lk(sh.mu);
+  --sh.in_flight;
+  sh.cv.notify_all();
 }
 
 /// OVNES_MILP_DEBUG diagnostics for an integral node whose solution still
@@ -253,8 +515,10 @@ bool evaluate_node(BnbShared& sh, Node& node,
   LpResult lp_copy;           // copy_node_models compatibility path
   const LpResult* lp_ptr = nullptr;
   SharedBasis child_basis;    // one handle shared by both children
+  std::optional<LpModel> copy_model;  // kept alive for probe solves
   if (opts.copy_node_models) {
-    LpModel copy = base;
+    copy_model.emplace(base);
+    LpModel& copy = *copy_model;
     for (const auto& [var, lo, hi] : node.fixes) copy.set_bounds(var, lo, hi);
     // Same dual-simplex dispatch as the session path: this knob compares
     // node *state management* (copies vs delta frames), not algorithms —
@@ -310,9 +574,25 @@ bool evaluate_node(BnbShared& sh, Node& node,
     }
     child_basis = sess->basis();
   }
+  // Pseudocost observation from the real child evaluation: this node IS
+  // one side of its parent's branching, and its (pre-separation) LP bound
+  // delta is the ground truth the strong-branching probes only estimate.
+  if (opts.branching == BranchRule::Pseudocost && node.branch_var >= 0 &&
+      node.parent_bound > -kInf && lp_ptr->status == LpStatus::Optimal) {
+    const double delta = lp_ptr->objective - node.parent_bound;
+    std::lock_guard<std::mutex> lk(sh.pc_mu);
+    if (node.branch_up) {
+      sh.pc.observe_up(node.branch_var, delta, 1.0 - node.branch_frac);
+    } else {
+      sh.pc.observe_down(node.branch_var, delta, node.branch_frac);
+    }
+  }
+  const LpModel& node_model =
+      opts.copy_node_models ? *copy_model : sess->model();
+  long probe_iters = 0;
   int frac = -1;
   if (lp_ptr->status == LpStatus::Optimal) {
-    frac = pick_branch_var(base, sh.int_vars, opts.int_tol, lp_ptr->x);
+    frac = choose_branch(sh, node_model, *lp_ptr, child_basis, probe_iters);
     if (frac < 0 && !opts.copy_node_models &&
         std::getenv("OVNES_MILP_DEBUG") != nullptr &&
         sess->model().max_violation(lp_ptr->x) > 1e-5) {
@@ -337,8 +617,9 @@ bool evaluate_node(BnbShared& sh, Node& node,
       lp_ptr = &sess->solve();
       frac = -1;
       if (lp_ptr->status == LpStatus::Optimal) {
-        frac = pick_branch_var(base, sh.int_vars, opts.int_tol, lp_ptr->x);
         child_basis = sess->basis();
+        frac = choose_branch(sh, sess->model(), *lp_ptr, child_basis,
+                             probe_iters);
       }
     };
     // Fractional root rounds (SCIP's benderslp idea): tighten the root
@@ -398,7 +679,7 @@ bool evaluate_node(BnbShared& sh, Node& node,
   bool keep_going;
   {
     std::unique_lock<std::mutex> lk(sh.mu);
-    sh.lp_iterations += lp.iterations + extra_lp_iters;
+    sh.lp_iterations += lp.iterations + extra_lp_iters + probe_iters;
     sh.nodes += sep_resolves;  // separation re-solves consume node budget
     sh.cuts_separated += sep_new;
     sh.cuts_from_pool += sep_pool;
@@ -437,11 +718,7 @@ bool evaluate_node(BnbShared& sh, Node& node,
         if (lp.objective >= sh.incumbent - sh.absolute_gap()) break;
         if (frac < 0) {
           // Integer feasible.
-          if (lp.objective < sh.incumbent) {
-            sh.incumbent = lp.objective;
-            sh.best_x = lp.x;
-            round_integers(sh.int_vars, sh.best_x);
-          }
+          install_incumbent(sh, lp.objective, lp.x, /*heuristic=*/false);
           break;
         }
         // Branch. The preferred ("nearest") side is pushed last so the
@@ -456,6 +733,10 @@ bool evaluate_node(BnbShared& sh, Node& node,
         down.depth = up.depth = node.depth + 1;
         down.warm = child_basis;
         up.warm = child_basis;
+        down.branch_var = up.branch_var = frac;
+        down.branch_up = false;
+        up.branch_up = true;
+        down.branch_frac = up.branch_frac = v - std::floor(v);
         if (v - std::floor(v) <= 0.5) {
           sh.push_open(std::move(up));
           sh.push_open(std::move(down));
@@ -486,6 +767,29 @@ void bnb_lane(const std::shared_ptr<BnbShared>& sh) {
   std::size_t pool_version = 0;   // cut-pool log position this lane synced
 
   for (;;) {
+    // Periodic LNS re-runs from the current incumbent: whichever lane
+    // first observes the node count crossing the threshold claims the
+    // episode (the claimed in_flight slot keeps the search alive while it
+    // runs) and executes it on its own session between nodes.
+    if (opts.lns_interval > 0) {
+      long run_idx = -1;
+      double cutoff = kInf;
+      std::vector<double> incumbent;
+      {
+        std::lock_guard<std::mutex> lk(sh->mu);
+        if (!sh->done && !sh->best_x.empty() && sh->nodes >= sh->lns_next &&
+            sh->nodes < opts.max_nodes) {
+          sh->lns_next = sh->nodes + opts.lns_interval;
+          run_idx = sh->lns_runs++;
+          cutoff = sh->incumbent;
+          incumbent = sh->best_x;
+          ++sh->in_flight;
+        }
+      }
+      if (run_idx >= 0) {
+        lns_episode(*sh, sess, pool_version, run_idx, cutoff, incumbent);
+      }
+    }
     Node node;
     {
       std::unique_lock<std::mutex> lk(sh->mu);
@@ -561,6 +865,9 @@ class BranchAndBound {
     }
     sh->int_vars = int_vars_;
     sh->t0 = t0;
+    if (opts_.branching == BranchRule::Pseudocost) {
+      sh->pc.resize(static_cast<std::size_t>(base_.num_vars()));
+    }
     if (opts_.warm_start != nullptr && !opts_.warm_start->empty()) {
       sh->root_warm = std::make_shared<const Basis>(*opts_.warm_start);
     }
@@ -596,6 +903,10 @@ class BranchAndBound {
 
     bool dive_hit_limit = false;
     if (opts_.dive_heuristic) dive(*sh, dive_hit_limit);
+    if (opts_.rens_heuristic) rens(*sh);
+    // First LNS episode fires lns_interval nodes after the serial phase
+    // (the heuristics above already consumed node budget).
+    sh->lns_next = sh->nodes + opts_.lns_interval;
 
     Node root;
     root.warm = sh->root_warm;
@@ -630,6 +941,10 @@ class BranchAndBound {
     res.cuts_separated = sh->cuts_separated;
     res.cuts_from_pool = sh->cuts_from_pool;
     res.separation_rounds = sh->separation_rounds;
+    res.pseudocost_branchings = sh->pseudocost_branchings;
+    res.strong_probes = sh->strong_probes;
+    res.heuristic_incumbents = sh->heuristic_incumbents;
+    res.first_incumbent_nodes = sh->first_incumbent_nodes;
     if (sh->cuts != nullptr) res.cuts_evicted = sh->cuts->stats().evicted;
     const bool hit_limit = sh->hit_limit || dive_hit_limit;
     if (sh->unbounded) {
@@ -718,7 +1033,16 @@ class BranchAndBound {
           sh.cuts_separated += s.fresh;
           sh.cuts_from_pool += s.from_pool ? static_cast<long>(s.rows.size())
                                            : 0;
-          if (s.abandon) return;  // no incumbent; the tree decides
+          if (s.abandon) {
+            // Heuristic-found-but-unverified candidate: discard it AND
+            // record the truncation — the separation oracle failed
+            // without a certificate, so this solve must never claim
+            // Optimal on the strength of a tree that pruned against
+            // later-verified incumbents only (conservative folding, same
+            // accounting as an abandoned lane node).
+            dive_hit_limit = true;
+            return;
+          }
           if (!s.rows.empty()) {
             ++sep_rounds;
             for (Rowdef& r : s.rows) sess.add_cut(std::move(r));
@@ -730,16 +1054,49 @@ class BranchAndBound {
           std::fprintf(stderr, "MILP DEBUG dive: violates by %g (obj %g)\n",
                        sess.model().max_violation(lp->x), lp->objective);
         }
-        if (lp->objective < sh.incumbent) {
-          sh.incumbent = lp->objective;
-          sh.best_x = lp->x;
-          round_integers(int_vars_, sh.best_x);
-        }
+        install_incumbent(sh, lp->objective, lp->x, /*heuristic=*/true);
         return;
       }
       const double v = std::round(lp->x[static_cast<size_t>(frac)]);
       sess.set_bounds(frac, v, v);
     }
+  }
+
+  /// RENS (relaxation-enforced neighborhood search) at the root: on its
+  /// own session (like the dive), re-solve the root LP, fix near-integral
+  /// integers and shrink the rest to their rounding box, then fix-and-dive
+  /// the restricted sub-MILP under the heuristic budget. Where the plain
+  /// dive dead-ends on the first infeasible rounding, the backtracking
+  /// sub-search recovers — the time-to-first-feasible lever on the hard
+  /// multi-knapsack instances. Runs serially before the lanes start.
+  void rens(BnbShared& sh) const {
+    if (int_vars_.empty()) return;
+    if (sh.nodes >= opts_.max_nodes ||
+        elapsed_sec(sh.t0) > opts_.time_limit_sec) {
+      return;
+    }
+    LpSession sess(base_, opts_.lp);
+    sess.set_warm_basis(sh.root_warm);
+    if (sh.cuts != nullptr) {
+      // Same tightened-model start as the dive (rows already counted
+      // there; RENS adds no from-pool accounting of its own).
+      std::size_t version = 0;
+      auto pooled = sh.cuts->fetch_new(version);
+      for (Rowdef& r : pooled) sess.add_cut(std::move(r));
+    }
+    ++sh.nodes;  // the root re-solve counts like a dive step
+    const LpResult* root = &sess.solve();
+    if (root->status == LpStatus::InvalidBasis) {
+      sess.clear_basis();
+      root = &sess.solve();
+    }
+    sh.lp_iterations += root->iterations;
+    if (root->status != LpStatus::Optimal) return;
+    const std::vector<double> root_x = root->x;  // dive solves invalidate *root
+    sess.push();
+    rens_restrict(sess, int_vars_, root_x, opts_.int_tol);
+    run_heuristic_dive(sh, sess, sh.incumbent);
+    sess.pop();
   }
 
   const LpModel& base_;

@@ -26,6 +26,7 @@
 #include <functional>
 #include <vector>
 
+#include "solver/branching.hpp"
 #include "solver/lp_model.hpp"
 #include "solver/lp_session.hpp"
 #include "solver/simplex.hpp"
@@ -115,6 +116,21 @@ struct MilpResult {
   long cuts_evicted = 0;
   /// Separation callback invocations (integral + fractional rounds).
   long separation_rounds = 0;
+  // -- Branching observability (zero under BranchRule::MostFractional).
+  /// Branch decisions taken by the pseudocost score with the chosen
+  /// variable already reliable (no strong-branching probes needed).
+  long pseudocost_branchings = 0;
+  /// Strong-branching probe LPs solved to initialize unreliable
+  /// candidates; bounded by MilpOptions::max_strong_probes.
+  long strong_probes = 0;
+  // -- Primal-heuristic observability.
+  /// Incumbents installed by a heuristic (root dive, RENS, LNS) rather
+  /// than by tree search.
+  long heuristic_incumbents = 0;
+  /// Value of `nodes` when the first incumbent (from any source) was
+  /// installed; -1 if the solve never found one. The anytime metric the
+  /// heuristics target: lower is better.
+  long first_incumbent_nodes = -1;
   /// (objective - best_bound) / max(1, |objective|); 0 when proved optimal.
   [[nodiscard]] double gap() const;
 };
@@ -136,6 +152,39 @@ struct MilpOptions {
   /// (fix the most fractional integer to its nearest value, re-solve,
   /// repeat). Greatly improves anytime behaviour on packing-style models.
   bool dive_heuristic = true;
+  // ---- Branching rule (solver/branching.hpp). The default keeps the
+  // historical most-fractional rule so existing trajectories (paper
+  // figures, pinned bench counters) are bit-identical.
+  BranchRule branching = BranchRule::MostFractional;
+  /// Reliability threshold for BranchRule::Pseudocost: a candidate whose
+  /// per-direction observation count is below this is strong-branched
+  /// (both child LPs probe-solved) before selection, seeding its
+  /// pseudocosts with measured degradations.
+  int reliability = 4;
+  /// Total strong-branching probe LP budget per solve (a probe pair per
+  /// candidate); 0 disables strong branching — unreliable candidates fall
+  /// back to the average-pseudocost estimate.
+  long max_strong_probes = 2000;
+  /// Per-probe LP pivot cap (SimplexOptions::max_iterations override);
+  /// a truncated probe still yields a valid degradation lower bound.
+  int strong_probe_iterations = 200;
+  // ---- Primal heuristics (solver/heuristics.hpp). Off by default for
+  // the same trajectory-pinning reason; svc/ re-solves and the heuristics
+  // bench cases turn them on.
+  /// RENS: after the root LP, fix near-integral integers, shrink the rest
+  /// to their rounding box, and run a budgeted fix-and-dive sub-search;
+  /// an accepted point seeds/improves the incumbent.
+  bool rens_heuristic = false;
+  /// LP-solve budget per heuristic episode (RENS run or LNS re-run); each
+  /// solve consumed also counts toward max_nodes like a dive step.
+  long heur_node_budget = 400;
+  /// Re-run an LNS neighborhood search from the current incumbent every
+  /// `lns_interval` nodes (0 disables). Each run fixes a deterministic
+  /// seeded subset of integers to the incumbent and dives the rest under
+  /// heur_node_budget, with the incumbent objective as cutoff.
+  long lns_interval = 0;
+  /// Fraction of integer variables freed ("destroyed") per LNS run.
+  double lns_destroy_fraction = 0.25;
   /// Optional warm basis for the root LP relaxation (not owned; must
   /// outlive the solve). Child nodes always inherit their parent's basis.
   const Basis* warm_start = nullptr;

@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "acrr/instance.hpp"
+#include "solver/branching.hpp"
 #include "solver/cut_pool.hpp"
 #include "solver/lp_session.hpp"
 #include "svc/arena.hpp"
@@ -67,6 +68,16 @@ struct ShardConfig {
   /// Optional wall-clock belt for the re-solve; 0 disables it (default —
   /// a time limit makes the decision log timing-dependent).
   double resolve_time_limit_sec = 0.0;
+  /// Branching rule for the re-solve's Benders master. Pseudocost (the
+  /// default) is node-budget-friendly: under resolve_max_nodes the tree
+  /// that learns branching costs proves tighter bounds. The decision log
+  /// stays replay-deterministic — the re-solve master runs threads=1 and
+  /// probe observations are applied in candidate order.
+  solver::BranchRule resolve_branching = solver::BranchRule::Pseudocost;
+  /// Run the RENS fix-and-dive heuristic at the re-solve root (plus the
+  /// plain rounding dive): lowers time-to-first-feasible, so a re-solve
+  /// truncated by resolve_max_nodes still carries an incumbent.
+  bool resolve_rens = true;
   /// Hard cap on live tenants per shard; arrivals beyond it are shed with
   /// DecisionKind::RejectedFull. 0 = unbounded.
   std::size_t max_tenants = 0;
@@ -130,6 +141,14 @@ struct ShardStats {
   long cuts_from_pool = 0;  ///< re-solve candidates priced by a pooled cut
   long cuts_evicted = 0;
   long separation_rounds = 0;
+  // Re-solve master branching/heuristic counters (summed over re-solves;
+  // zero unless ShardConfig::resolve_branching/resolve_rens enable them).
+  long pseudocost_branchings = 0;
+  long strong_probes = 0;
+  long heuristic_incumbents = 0;
+  /// Min over re-solves of the master's nodes-at-first-incumbent; -1
+  /// until any re-solve found one (the anytime metric).
+  long first_incumbent_nodes = -1;
   // SLA accounting under overbooking.
   double violation_minutes = 0.0;      ///< Σ tenant-minutes with demand > z
   std::uint64_t violation_samples = 0; ///< DemandUpdates that hit ≥ 1 BS

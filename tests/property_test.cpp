@@ -11,6 +11,7 @@
 #include "common/rng.hpp"
 #include "dataplane/middlebox.hpp"
 #include "orch/scenario.hpp"
+#include "solver/milp.hpp"
 #include "topo/generators.hpp"
 #include "topo/paths.hpp"
 
@@ -176,6 +177,82 @@ TEST(ScenarioProperty, RevenueMonotoneInRadioCapacity) {
   EXPECT_GE(rev_big, rev_small - 1e-9);
   EXPECT_GT(rev_big, 0.0);
 }
+
+// ----------------------------------------- MILP branching-rule equivalence
+
+/// Integer-coefficient knapsack-style MILP: profits correlate with weights
+/// so the LP relaxation is fractional, and all-integer data makes the
+/// optimal objective exact — the 1e-9 agreement below carries no LP-noise
+/// slack.
+solver::LpModel random_milp(RngStream& rng) {
+  using namespace ovnes::solver;
+  LpModel m;
+  const int n = 8 + static_cast<int>(rng.uniform_int(0, 6));
+  const int rows = 2 + static_cast<int>(rng.uniform_int(0, 2));
+  std::vector<double> w(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    w[static_cast<std::size_t>(j)] =
+        static_cast<double>(rng.uniform_int(2, 12));
+    const double profit = w[static_cast<std::size_t>(j)] +
+                          static_cast<double>(rng.uniform_int(0, 4));
+    m.add_binary("x" + std::to_string(j), -profit);
+  }
+  for (int r = 0; r < rows; ++r) {
+    std::vector<Coef> coefs;
+    double sum = 0.0;
+    for (int j = 0; j < n; ++j) {
+      const double a = w[static_cast<std::size_t>(j)] +
+                       static_cast<double>(rng.uniform_int(0, 3));
+      coefs.push_back({j, a});
+      sum += a;
+    }
+    m.add_row("cap" + std::to_string(r), RowSense::LessEq,
+              std::floor(0.5 * sum), std::move(coefs));
+  }
+  return m;
+}
+
+class MilpBranchingPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MilpBranchingPropertyTest, RulesAgreeAndBoundsSandwich) {
+  using namespace ovnes::solver;
+  RngStream rng = RngStream(0x6272616e63686573ULL)
+                      .derive("milp_battery", static_cast<std::size_t>(GetParam()));
+  const LpModel m = random_milp(rng);
+
+  MilpOptions mf;  // historical most-fractional rule
+  mf.gap_tol = 0.0;
+  mf.threads = 1;
+  const MilpResult a = solve_milp(m, mf);
+
+  MilpOptions pc = mf;  // pseudocost + heuristics: different search, same answer
+  pc.branching = BranchRule::Pseudocost;
+  pc.rens_heuristic = true;
+  pc.lns_interval = 40;
+  const MilpResult b = solve_milp(m, pc);
+
+  ASSERT_EQ(a.status, MilpStatus::Optimal);
+  ASSERT_EQ(b.status, MilpStatus::Optimal);
+  EXPECT_NEAR(a.objective, b.objective, 1e-9);
+  EXPECT_LE(a.best_bound, a.objective + 1e-9);
+  EXPECT_LE(b.best_bound, b.objective + 1e-9);
+  // Returned points price their objectives on the original model.
+  EXPECT_NEAR(m.objective_value(b.x), b.objective, 1e-9);
+  EXPECT_LE(m.max_violation(b.x), 1e-6);
+
+  // Node-limited anytime solves keep the bound sandwich under both rules:
+  // best_bound stays below any incumbent AND below the true optimum.
+  for (const MilpOptions* o : {&mf, &pc}) {
+    MilpOptions limited = *o;
+    limited.max_nodes = 8;
+    const MilpResult r = solve_milp(m, limited);
+    EXPECT_LE(r.best_bound, a.objective + 1e-9);
+    if (!r.x.empty()) EXPECT_LE(r.best_bound, r.objective + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomMilps, MilpBranchingPropertyTest,
+                         ::testing::Range(0, 50));
 
 // -------------------------------------------------- middlebox conservation
 
